@@ -1,0 +1,81 @@
+// Command geobench regenerates the paper's evaluation artifacts (Tables
+// 1–3, Figures 3–10). Each experiment prints an aligned text table; pass
+// -out to also write per-experiment .txt and .csv files.
+//
+// Usage:
+//
+//	geobench -exp all              # run everything (paper-scale settings)
+//	geobench -exp fig5 -quick     # one experiment at reduced scale
+//	geobench -exp fig7 -seed 7 -out results/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"geoprocmap/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "comma-separated experiment ids (see -list) or \"all\"")
+		seed  = flag.Int64("seed", 1, "random seed for cloud jitter, calibration noise and constraint draws")
+		quick = flag.Bool("quick", false, "reduced scales and sample counts (seconds instead of minutes)")
+		ratio = flag.Float64("constraints", 0.2, "data-movement constraint ratio")
+		out   = flag.String("out", "", "directory to write per-experiment .txt and .csv files")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	cfg := experiments.Config{Seed: *seed, Quick: *quick, ConstraintRatio: *ratio}
+
+	ids := strings.Split(*exp, ",")
+	if *exp == "all" {
+		ids = experiments.IDs()
+	}
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	for _, id := range ids {
+		rep, err := experiments.Run(id, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(rep.String())
+		if *out != "" {
+			if err := os.WriteFile(filepath.Join(*out, id+".txt"), []byte(rep.String()), 0o644); err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(*out, id+".csv"), []byte(rep.CSV()), 0o644); err != nil {
+				fatal(err)
+			}
+			if chart, ok, err := experiments.ChartFor(rep); err != nil {
+				fatal(err)
+			} else if ok {
+				svg, err := chart.SVG()
+				if err != nil {
+					fatal(err)
+				}
+				if err := os.WriteFile(filepath.Join(*out, id+".svg"), []byte(svg), 0o644); err != nil {
+					fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "geobench:", err)
+	os.Exit(1)
+}

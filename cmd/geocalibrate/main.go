@@ -1,0 +1,79 @@
+// Command geocalibrate runs the SKaMPI-substitute network calibration on a
+// modeled cloud and prints the estimated LT/BT matrices together with the
+// paper's overhead comparison (site pairs vs all node pairs).
+//
+// Usage:
+//
+//	geocalibrate                               # paper's 4-region EC2 cloud
+//	geocalibrate -provider azure -regions east-us,west-europe,japan-east -instance Standard_D2
+//	geocalibrate -nodes 128 -days 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"geoprocmap/internal/calib"
+	"geoprocmap/internal/netmodel"
+)
+
+func main() {
+	var (
+		provider = flag.String("provider", "ec2", "cloud provider: ec2 or azure")
+		regions  = flag.String("regions", strings.Join(netmodel.PaperEC2Regions, ","), "comma-separated regions")
+		instance = flag.String("instance", "m4.xlarge", "instance type")
+		nodes    = flag.Int("nodes", 16, "nodes per site (for the overhead comparison)")
+		days     = flag.Int("days", 3, "days of repeated measurement")
+		samples  = flag.Int("samples", 10, "samples per day per site pair")
+		seed     = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	var p *netmodel.Provider
+	switch *provider {
+	case "ec2":
+		p = netmodel.AmazonEC2
+	case "azure":
+		p = netmodel.WindowsAzure
+	default:
+		fatal(fmt.Errorf("unknown provider %q", *provider))
+	}
+	cloud, err := netmodel.EvenCloud(p, *instance, strings.Split(*regions, ","), *nodes, netmodel.Options{Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+	res, err := calib.Calibrate(cloud, calib.Options{Days: *days, SamplesPerDay: *samples, Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("calibrated %d sites × %d samples/pair\n\n", cloud.M(), res.SamplesPerPair)
+	fmt.Println("latency matrix LT (ms):")
+	for k := 0; k < cloud.M(); k++ {
+		for l := 0; l < cloud.M(); l++ {
+			fmt.Printf("%9.2f", res.LT.At(k, l)*1000)
+		}
+		fmt.Printf("   %s\n", cloud.Sites[k].Region.Name)
+	}
+	fmt.Println("\nbandwidth matrix BT (MB/s):")
+	for k := 0; k < cloud.M(); k++ {
+		for l := 0; l < cloud.M(); l++ {
+			fmt.Printf("%9.1f", res.BT.At(k, l)/netmodel.MB)
+		}
+		fmt.Printf("   %s\n", cloud.Sites[k].Region.Name)
+	}
+	latErr, bwErr := res.RelativeErrors(cloud)
+	fmt.Printf("\nmean relative error vs ground truth: latency %.1f%%, bandwidth %.1f%%\n", latErr*100, bwErr*100)
+
+	allPairs := calib.AllPairsOverheadSeconds(cloud.TotalNodes(), 60)
+	fmt.Printf("\ncalibration overhead (1 min/session):\n")
+	fmt.Printf("  site pairs (this tool):  %.0f minutes (%d sessions)\n", res.OverheadSeconds/60, res.SitePairSessions)
+	fmt.Printf("  all node pairs:          %.1f days (%d nodes)\n", allPairs/86400, cloud.TotalNodes())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "geocalibrate:", err)
+	os.Exit(1)
+}

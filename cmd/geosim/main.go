@@ -1,0 +1,103 @@
+// Command geosim simulates a workload's execution on a geo-distributed
+// cloud under a chosen mapping algorithm and prints the timing breakdown
+// against the random baseline.
+//
+// Usage:
+//
+//	geosim -app LU -n 64                       # geo mapper, replay engine
+//	geosim -app K-means -n 256 -algo greedy -engine fluid
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"geoprocmap/internal/apps"
+	"geoprocmap/internal/baselines"
+	"geoprocmap/internal/core"
+	"geoprocmap/internal/experiments"
+)
+
+func main() {
+	var (
+		appName = flag.String("app", "LU", "workload: LU, BT, SP, K-means, DNN")
+		n       = flag.Int("n", 64, "number of processes (multiple of 4)")
+		algo    = flag.String("algo", "geo", "mapper: geo, greedy, mpipp, random")
+		engine  = flag.String("engine", "replay", "simulation engine: replay, fluid, ps")
+		iters   = flag.Int("iters", 0, "iterations (0 = workload default)")
+		ratio   = flag.Float64("constraints", 0.2, "data-movement constraint ratio")
+		repeats = flag.Int("repeats", 10, "random baselines averaged")
+		seed    = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	app, err := apps.ByName(*appName)
+	if err != nil {
+		fatal(err)
+	}
+	it := *iters
+	if it == 0 {
+		it = app.DefaultIters()
+	}
+	cloud, err := experiments.PaperCloudForScale(*n, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	inst, err := experiments.BuildInstance(cloud, app, *n, it, *ratio, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	var mode experiments.SimMode
+	switch *engine {
+	case "replay":
+		mode = experiments.SimReplay
+	case "fluid":
+		mode = experiments.SimFluid
+	case "ps":
+		mode = experiments.SimFluidPS
+	default:
+		fatal(fmt.Errorf("unknown engine %q", *engine))
+	}
+
+	var mapper core.Mapper
+	switch *algo {
+	case "geo":
+		mapper = &core.GeoMapper{Kappa: 4, Seed: *seed}
+	case "greedy":
+		mapper = &baselines.Greedy{}
+	case "mpipp":
+		mapper = &baselines.MPIPP{Seed: *seed}
+	case "random":
+		mapper = &baselines.Random{Seed: *seed}
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q", *algo))
+	}
+
+	base, err := inst.BaselineSim(*repeats, *seed+100, mode)
+	if err != nil {
+		fatal(err)
+	}
+	pl, dur, err := inst.MapAndTime(mapper)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := inst.Simulate(pl, mode)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("workload: %s × %d iterations on %d processes (%s engine)\n", app.Name(), it, *n, *engine)
+	fmt.Printf("mapper:   %s (optimization overhead %v)\n\n", mapper.Name(), dur.Round(dur/1000+1))
+	fmt.Printf("%-22s %12s %12s %12s\n", "", "compute (s)", "comm (s)", "total (s)")
+	fmt.Printf("%-22s %12.2f %12.2f %12.2f\n", "Baseline (random ×"+fmt.Sprint(*repeats)+")", base.ComputeSeconds, base.CommSeconds, base.Total())
+	fmt.Printf("%-22s %12.2f %12.2f %12.2f\n\n", mapper.Name(), res.ComputeSeconds, res.CommSeconds, res.Total())
+	fmt.Printf("communication improvement: %.1f%%\n", experiments.ImprovementPct(base.CommSeconds, res.CommSeconds))
+	fmt.Printf("overall improvement:       %.1f%%\n", experiments.ImprovementPct(base.Total(), res.Total()+dur.Seconds()))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "geosim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,17 @@
+// Package geoprocmap reproduces "Efficient Process Mapping in
+// Geo-Distributed Cloud Data Centers" (Zhou, Gong, He, Zhai — SC 2017,
+// DOI 10.1145/3126908.3126913) as a self-contained Go library.
+//
+// The implementation lives under internal/: the paper's contribution is
+// internal/core (problem formulation and the Geo-distributed algorithm),
+// with the compared algorithms in internal/baselines and the substrates —
+// cloud network model, flow-level simulator, trace profiler, workloads,
+// calibration — in their own packages. The cmd/ directory holds the
+// geomap, geobench, geocalibrate and geosim tools, examples/ holds
+// runnable walkthroughs, and the benchmarks in this package regenerate
+// every table and figure of the paper's evaluation.
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and experiment index, and EXPERIMENTS.md for paper-vs-measured
+// results.
+package geoprocmap

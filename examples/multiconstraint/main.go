@@ -1,0 +1,108 @@
+// Multi-site constraints: the paper's future-work extension in action.
+//
+// The original model pins a constrained process to exactly ONE site. Real
+// residency rules are usually regional: "EU personal data may be processed
+// in any EU region". This example runs a K-means job over six regions
+// where EU-data processes may use either EU region, US-data processes
+// either US region, and APAC processes either Asian region — and shows
+// the Geo-distributed mapper exploiting that slack (a single-site pin of
+// the same data is strictly worse).
+//
+// Run with: go run ./examples/multiconstraint
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"geoprocmap/internal/apps"
+	"geoprocmap/internal/calib"
+	"geoprocmap/internal/core"
+	"geoprocmap/internal/netmodel"
+)
+
+func main() {
+	regions := []string{
+		"us-east-1", "us-west-2",
+		"eu-west-1", "eu-central-1",
+		"ap-southeast-1", "ap-northeast-1",
+	}
+	const nodesPerSite = 8
+	cloud, err := netmodel.EvenCloud(netmodel.AmazonEC2, "m4.xlarge", regions, nodesPerSite, netmodel.Options{Seed: 9})
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := cloud.TotalNodes()
+
+	pattern, err := apps.Graph(apps.NewKMeans(), n, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cal, err := calib.Calibrate(cloud, calib.Options{Seed: 9})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	newProblem := func() *core.Problem {
+		constraint := make(core.Placement, n)
+		for i := range constraint {
+			constraint[i] = core.Unconstrained
+		}
+		return &core.Problem{
+			Comm:       pattern,
+			LT:         cal.LT,
+			BT:         cal.BT,
+			PC:         cloud.Coordinates(),
+			Capacity:   cloud.Capacity(),
+			Constraint: constraint,
+		}
+	}
+
+	us := []int{0, 1}
+	eu := []int{2, 3}
+	apac := []int{4, 5}
+
+	// Variant A: regional (multi-site) residency — 8 processes per data
+	// region, each free to use either of its region's sites.
+	regional := newProblem()
+	regional.Allowed = make([][]int, n)
+	for i := 0; i < 8; i++ {
+		regional.Allowed[i] = us
+		regional.Allowed[8+i] = eu
+		regional.Allowed[16+i] = apac
+	}
+	if err := regional.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Variant B: the paper's single-site pins for the same data (each
+	// process pinned to the first site of its region).
+	pinned := newProblem()
+	for i := 0; i < 8; i++ {
+		pinned.Constraint[i] = us[0]
+		pinned.Constraint[8+i] = eu[0]
+		pinned.Constraint[16+i] = apac[0]
+	}
+	if err := pinned.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	mapper := &core.GeoMapper{Kappa: 3, Seed: 9}
+	regPl, err := mapper.Map(regional)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pinPl, err := mapper.Map(pinned)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := regional.CheckPlacement(regPl); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%d processes over %d regions, 24 residency-constrained:\n\n", n, len(regions))
+	fmt.Printf("  regional sets (any EU / any US / any APAC site):  cost %.3f\n", regional.Cost(regPl))
+	fmt.Printf("  single-site pins (paper's original model):        cost %.3f\n", pinned.Cost(pinPl))
+	fmt.Printf("\nthe multi-site sets leave the optimizer room: %.1f%% cheaper than hard pins\n",
+		(pinned.Cost(pinPl)-regional.Cost(regPl))/pinned.Cost(pinPl)*100)
+}

@@ -1,0 +1,48 @@
+// Scale study: how the Geo-distributed mapper's solution quality and
+// optimization overhead evolve from 64 to 1024 machines (the regime of the
+// paper's Figure 7), measured with the trace-replay simulator.
+//
+// Run with: go run ./examples/scalestudy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"geoprocmap/internal/apps"
+	"geoprocmap/internal/baselines"
+	"geoprocmap/internal/core"
+	"geoprocmap/internal/experiments"
+)
+
+func main() {
+	fmt.Printf("%8s %14s %14s %16s\n", "machines", "greedy imp.", "geo imp.", "geo overhead")
+	for _, n := range []int{64, 128, 256, 512, 1024} {
+		cloud, err := experiments.PaperCloudForScale(n, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		inst, err := experiments.BuildInstance(cloud, apps.NewLU(), n, 1, 0.2, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		base, err := inst.BaselineSim(3, 99, experiments.SimReplay)
+		if err != nil {
+			log.Fatal(err)
+		}
+		improvement := func(m core.Mapper) (float64, string) {
+			placement, took, err := inst.MapAndTime(m)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := inst.Simulate(placement, experiments.SimReplay)
+			if err != nil {
+				log.Fatal(err)
+			}
+			return experiments.ImprovementPct(base.CommSeconds, res.CommSeconds), took.String()
+		}
+		gImp, _ := improvement(&baselines.Greedy{})
+		oImp, oDur := improvement(&core.GeoMapper{Kappa: 4, Seed: 2})
+		fmt.Printf("%8d %13.1f%% %13.1f%% %16s\n", n, gImp, oImp, oDur)
+	}
+}

@@ -1,0 +1,82 @@
+// WAN analytics: a geo-distributed K-means job over six EC2 regions. With
+// this many sites a κ! order search over raw sites would explore 720
+// orders; the grouping optimization clusters the six regions into κ=3
+// geographic groups first, cutting the search to 6 orders while keeping
+// the solution quality.
+//
+// Run with: go run ./examples/wananalytics
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"geoprocmap/internal/apps"
+	"geoprocmap/internal/baselines"
+	"geoprocmap/internal/calib"
+	"geoprocmap/internal/core"
+	"geoprocmap/internal/netmodel"
+)
+
+func main() {
+	regions := []string{
+		"us-east-1", "us-west-2", // Americas
+		"eu-west-1", "eu-central-1", // Europe
+		"ap-southeast-1", "ap-northeast-1", // Asia
+	}
+	const nodesPerSite = 8
+	cloud, err := netmodel.EvenCloud(netmodel.AmazonEC2, "m4.xlarge", regions, nodesPerSite, netmodel.Options{Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := cloud.TotalNodes()
+
+	pattern, err := apps.Graph(apps.NewKMeans(), n, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cal, err := calib.Calibrate(cloud, calib.Options{Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	constraint := make(core.Placement, n)
+	for i := range constraint {
+		constraint[i] = core.Unconstrained
+	}
+	problem := &core.Problem{
+		Comm:       pattern,
+		LT:         cal.LT,
+		BT:         cal.BT,
+		PC:         cloud.Coordinates(),
+		Capacity:   cloud.Capacity(),
+		Constraint: constraint,
+	}
+
+	// Show the geographic groups the K-means step finds.
+	groups, err := core.GroupSites(problem.PC, 3, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("site groups (κ=3 K-means over coordinates):")
+	for gi, g := range groups {
+		fmt.Printf("  group %d:", gi)
+		for _, s := range g {
+			fmt.Printf(" %s", cloud.Sites[s].Region.Name)
+		}
+		fmt.Println()
+	}
+
+	fmt.Printf("\nmapping %d K-means processes over %d regions:\n", n, len(regions))
+	for _, mapper := range []core.Mapper{
+		&baselines.Random{Seed: 5},
+		&baselines.Greedy{},
+		&baselines.MPIPP{Seed: 5},
+		&core.GeoMapper{Kappa: 3, Seed: 5},
+	} {
+		pl, err := mapper.Map(problem)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-16s cost %9.3f\n", mapper.Name(), problem.Cost(pl))
+	}
+}

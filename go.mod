@@ -1,0 +1,3 @@
+module geoprocmap
+
+go 1.22

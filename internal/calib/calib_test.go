@@ -1,0 +1,186 @@
+package calib
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"geoprocmap/internal/netmodel"
+)
+
+func TestCalibrateAccuracy(t *testing.T) {
+	cloud, err := netmodel.PaperCloud(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Calibrate(cloud, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	latErr, bwErr := res.RelativeErrors(cloud)
+	if latErr > 0.08 {
+		t.Errorf("mean latency error %.3f, want ≤0.08", latErr)
+	}
+	if bwErr > 0.12 {
+		t.Errorf("mean bandwidth error %.3f, want ≤0.12", bwErr)
+	}
+	if res.SamplesPerPair != 30 {
+		t.Errorf("SamplesPerPair = %d, want 30 (3 days × 10)", res.SamplesPerPair)
+	}
+}
+
+// The paper's overhead example: 4 sites, 128 nodes per site, one minute
+// per probe pair — all-pairs takes over 180 days, site pairs 12 minutes.
+func TestOverheadMatchesPaperExample(t *testing.T) {
+	cloud, err := netmodel.EvenCloud(netmodel.AmazonEC2, "m4.xlarge", netmodel.PaperEC2Regions, 128, netmodel.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Calibrate(cloud, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SitePairSessions != 12 {
+		t.Errorf("SitePairSessions = %d, want 12", res.SitePairSessions)
+	}
+	if got := res.OverheadSeconds / 60; got != 12 {
+		t.Errorf("overhead = %v minutes, want 12", got)
+	}
+	allPairs := AllPairsOverheadSeconds(cloud.TotalNodes(), 60)
+	days := allPairs / 86400
+	if days < 180 {
+		t.Errorf("all-pairs overhead = %.0f days, paper says over 180", days)
+	}
+	if res.OverheadSeconds >= allPairs/1000 {
+		t.Error("site-pair calibration not dramatically cheaper than all pairs")
+	}
+}
+
+func TestCalibrateDeterministic(t *testing.T) {
+	cloud, err := netmodel.PaperCloud(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Calibrate(cloud, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Calibrate(cloud, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.LT.Equal(b.LT, 0) || !a.BT.Equal(b.BT, 0) {
+		t.Error("same seed produced different calibrations")
+	}
+}
+
+func TestCalibrateErrors(t *testing.T) {
+	cloud, err := netmodel.PaperCloud(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Calibrate(nil, Options{}); err == nil {
+		t.Error("nil cloud accepted")
+	}
+	if _, err := Calibrate(cloud, Options{Days: -1}); err == nil {
+		t.Error("negative days accepted")
+	}
+	if _, err := Calibrate(cloud, Options{ProbeBytes: 1}); err == nil {
+		t.Error("1-byte probe accepted")
+	}
+}
+
+func TestMoreSamplingImprovesAccuracy(t *testing.T) {
+	cloud, err := netmodel.PaperCloud(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := Calibrate(cloud, Options{Days: 1, SamplesPerDay: 1, Seed: 11, IntraNoise: 0.3, InterNoise: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Calibrate(cloud, Options{Days: 20, SamplesPerDay: 50, Seed: 11, IntraNoise: 0.3, InterNoise: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, bwSmall := small.RelativeErrors(cloud)
+	_, bwBig := big.RelativeErrors(cloud)
+	if bwBig >= bwSmall {
+		t.Errorf("1000 samples (err %.3f) not better than 1 sample (err %.3f)", bwBig, bwSmall)
+	}
+}
+
+// Property: calibrated estimates are always positive and latency estimates
+// stay within an order of magnitude of the truth for reasonable noise.
+func TestQuickCalibrateSane(t *testing.T) {
+	cloud, err := netmodel.PaperCloud(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		res, err := Calibrate(cloud, Options{Seed: seed, Days: 2, SamplesPerDay: 5})
+		if err != nil {
+			return false
+		}
+		for k := 0; k < cloud.M(); k++ {
+			for l := 0; l < cloud.M(); l++ {
+				if res.LT.At(k, l) <= 0 || res.BT.At(k, l) <= 0 {
+					return false
+				}
+				ratio := res.LT.At(k, l) / cloud.LT.At(k, l)
+				if ratio < 0.5 || ratio > 2 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllPairsOverheadFormula(t *testing.T) {
+	if got := AllPairsOverheadSeconds(2, 60); got != 120 {
+		t.Errorf("AllPairsOverheadSeconds(2, 60) = %v, want 120", got)
+	}
+	if math.Signbit(AllPairsOverheadSeconds(0, 60)) {
+		// N=0 gives 0·(−1)·60 = 0; just ensure no negative nonsense leaks.
+		t.Error("negative overhead for zero nodes")
+	}
+}
+
+// The paper: inter-site variation is small (<5%) while intra-site
+// variation is relatively larger.
+func TestVariationStatistics(t *testing.T) {
+	cloud, err := netmodel.PaperCloud(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Calibrate(cloud, Options{Seed: 9, Days: 10, SamplesPerDay: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var interMax, intraMin float64 = 0, 1
+	for k := 0; k < cloud.M(); k++ {
+		for l := 0; l < cloud.M(); l++ {
+			v := res.Variation.At(k, l)
+			if v <= 0 {
+				t.Fatalf("nonpositive variation at (%d,%d)", k, l)
+			}
+			if k == l {
+				if v < intraMin {
+					intraMin = v
+				}
+			} else if v > interMax {
+				interMax = v
+			}
+		}
+	}
+	if interMax > 0.05 {
+		t.Errorf("max inter-site variation %.3f, paper reports <5%%", interMax)
+	}
+	if intraMin <= interMax {
+		t.Errorf("intra-site variation (min %.3f) not above inter-site (max %.3f)", intraMin, interMax)
+	}
+}

@@ -1,0 +1,280 @@
+// Package comm represents application communication patterns.
+//
+// The paper describes an application by two N×N matrices: CG, the volume of
+// communication between every pair of processes, and AG, the number of
+// messages exchanged (Table 4). The evaluation scales to 8192 processes
+// where the patterns are sparse (NPB kernels talk to a handful of
+// neighbors), so this package stores both matrices together as a directed
+// weighted graph with adjacency lists, and converts to dense matrices on
+// demand for small problems and for rendering Figure 3.
+package comm
+
+import (
+	"fmt"
+	"sort"
+
+	"geoprocmap/internal/mat"
+)
+
+// Edge is directed traffic from one process to a peer.
+type Edge struct {
+	Peer   int     // destination (or source, for incoming edges) process
+	Volume float64 // total bytes transferred (CG entry)
+	Msgs   float64 // total number of messages (AG entry)
+}
+
+// Graph holds the combined CG/AG communication pattern of an N-process
+// application. Traffic is directed; AddTraffic(i, j, …) and
+// AddTraffic(j, i, …) accumulate separately, matching the paper's
+// asymmetric matrices.
+type Graph struct {
+	n   int
+	out []map[int]*Edge // out[i][j] = traffic i→j
+	in  []map[int]*Edge // in[j][i] = traffic i→j (mirror for fast column access)
+
+	totalVolume float64
+	totalMsgs   float64
+
+	// neighborCache holds, per process, the combined-direction neighbor
+	// list in ascending peer order. Iterating Go maps is randomized, and
+	// the mapping heuristics accumulate floating-point affinities over
+	// neighbors — a nondeterministic order would make placements differ
+	// run to run through last-ulp tie-breaks. The cache is rebuilt lazily
+	// after mutations.
+	neighborCache [][]Edge
+	cacheVersion  int
+	mutVersion    int
+}
+
+// NewGraph returns an empty pattern over n processes.
+// It panics if n is negative.
+func NewGraph(n int) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("comm: negative process count %d", n))
+	}
+	g := &Graph{
+		n:   n,
+		out: make([]map[int]*Edge, n),
+		in:  make([]map[int]*Edge, n),
+	}
+	for i := 0; i < n; i++ {
+		g.out[i] = make(map[int]*Edge)
+		g.in[i] = make(map[int]*Edge)
+	}
+	return g
+}
+
+// N returns the number of processes.
+func (g *Graph) N() int { return g.n }
+
+// AddTraffic accumulates volume bytes over msgs messages sent from src to
+// dst. Self-traffic (src == dst) is ignored, as in the paper's model where
+// the diagonal carries no cost. Negative volume or msgs panic.
+func (g *Graph) AddTraffic(src, dst int, volume, msgs float64) {
+	g.checkProc(src)
+	g.checkProc(dst)
+	if volume < 0 || msgs < 0 {
+		panic(fmt.Sprintf("comm: negative traffic (%g bytes, %g msgs)", volume, msgs))
+	}
+	if src == dst || (volume == 0 && msgs == 0) {
+		return
+	}
+	e := g.out[src][dst]
+	if e == nil {
+		e = &Edge{Peer: dst}
+		g.out[src][dst] = e
+		g.in[dst][src] = &Edge{Peer: src}
+	}
+	e.Volume += volume
+	e.Msgs += msgs
+	me := g.in[dst][src]
+	me.Volume += volume
+	me.Msgs += msgs
+	g.totalVolume += volume
+	g.totalMsgs += msgs
+	g.mutVersion++
+}
+
+func (g *Graph) checkProc(i int) {
+	if i < 0 || i >= g.n {
+		panic(fmt.Sprintf("comm: process %d out of range [0,%d)", i, g.n))
+	}
+}
+
+// Volume returns CG(i, j): the bytes sent from i to j.
+func (g *Graph) Volume(i, j int) float64 {
+	g.checkProc(i)
+	g.checkProc(j)
+	if e := g.out[i][j]; e != nil {
+		return e.Volume
+	}
+	return 0
+}
+
+// Msgs returns AG(i, j): the number of messages sent from i to j.
+func (g *Graph) Msgs(i, j int) float64 {
+	g.checkProc(i)
+	g.checkProc(j)
+	if e := g.out[i][j]; e != nil {
+		return e.Msgs
+	}
+	return 0
+}
+
+// Outgoing returns the outgoing edges of process i sorted by peer.
+func (g *Graph) Outgoing(i int) []Edge {
+	g.checkProc(i)
+	return sortEdges(g.out[i])
+}
+
+// Incoming returns the incoming edges of process i sorted by peer. Each
+// edge's Peer field is the *sender*.
+func (g *Graph) Incoming(i int) []Edge {
+	g.checkProc(i)
+	return sortEdges(g.in[i])
+}
+
+func sortEdges(m map[int]*Edge) []Edge {
+	out := make([]Edge, 0, len(m))
+	for _, e := range m {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Peer < out[b].Peer })
+	return out
+}
+
+// Neighbors calls fn for every process j that exchanges traffic with i in
+// either direction, with the combined volume CG(i,j)+CG(j,i) and message
+// count AG(i,j)+AG(j,i), in ascending peer order (deterministic).
+func (g *Graph) Neighbors(i int, fn func(j int, volume, msgs float64)) {
+	g.checkProc(i)
+	for _, e := range g.neighbors(i) {
+		fn(e.Peer, e.Volume, e.Msgs)
+	}
+}
+
+// neighbors returns i's cached combined-direction adjacency, rebuilding
+// the cache if the graph changed since the last build.
+func (g *Graph) neighbors(i int) []Edge {
+	if g.neighborCache == nil || g.cacheVersion != g.mutVersion {
+		g.neighborCache = make([][]Edge, g.n)
+		g.cacheVersion = g.mutVersion
+	}
+	if g.neighborCache[i] == nil {
+		combined := make(map[int]*Edge, len(g.out[i])+len(g.in[i]))
+		for j, e := range g.out[i] {
+			combined[j] = &Edge{Peer: j, Volume: e.Volume, Msgs: e.Msgs}
+		}
+		for j, e := range g.in[i] {
+			if c := combined[j]; c != nil {
+				c.Volume += e.Volume
+				c.Msgs += e.Msgs
+				continue
+			}
+			combined[j] = &Edge{Peer: j, Volume: e.Volume, Msgs: e.Msgs}
+		}
+		list := make([]Edge, 0, len(combined))
+		for _, e := range combined {
+			list = append(list, *e)
+		}
+		sort.Slice(list, func(a, b int) bool { return list[a].Peer < list[b].Peer })
+		if len(list) == 0 {
+			list = []Edge{} // non-nil marks the entry as built
+		}
+		g.neighborCache[i] = list
+	}
+	return g.neighborCache[i]
+}
+
+// Quantity returns the total communication quantity of process i — the sum
+// of bytes it sends and receives. Algorithm 1 selects the "process with the
+// heaviest communication quantity" by this measure.
+func (g *Graph) Quantity(i int) float64 {
+	g.checkProc(i)
+	var q float64
+	for _, e := range g.neighbors(i) { // deterministic accumulation order
+		q += e.Volume
+	}
+	return q
+}
+
+// TotalVolume returns the sum of CG.
+func (g *Graph) TotalVolume() float64 { return g.totalVolume }
+
+// TotalMsgs returns the sum of AG.
+func (g *Graph) TotalMsgs() float64 { return g.totalMsgs }
+
+// EdgeCount returns the number of directed (i, j) pairs with traffic.
+func (g *Graph) EdgeCount() int {
+	n := 0
+	for _, m := range g.out {
+		n += len(m)
+	}
+	return n
+}
+
+// MaxDegree returns the largest number of distinct peers (union of in and
+// out) over all processes.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for i := 0; i < g.n; i++ {
+		seen := make(map[int]struct{}, len(g.out[i])+len(g.in[i]))
+		for j := range g.out[i] {
+			seen[j] = struct{}{}
+		}
+		for j := range g.in[i] {
+			seen[j] = struct{}{}
+		}
+		if len(seen) > max {
+			max = len(seen)
+		}
+	}
+	return max
+}
+
+// DenseCG materializes the N×N communication-volume matrix.
+func (g *Graph) DenseCG() *mat.Matrix {
+	m := mat.NewSquare(g.n)
+	for i, edges := range g.out {
+		for j, e := range edges {
+			m.Set(i, j, e.Volume)
+		}
+	}
+	return m
+}
+
+// DenseAG materializes the N×N message-count matrix.
+func (g *Graph) DenseAG() *mat.Matrix {
+	m := mat.NewSquare(g.n)
+	for i, edges := range g.out {
+		for j, e := range edges {
+			m.Set(i, j, e.Msgs)
+		}
+	}
+	return m
+}
+
+// FromDense builds a Graph from dense CG and AG matrices, which must be
+// square and of equal size.
+func FromDense(cg, ag *mat.Matrix) (*Graph, error) {
+	if !cg.IsSquare() || !ag.IsSquare() || cg.Rows() != ag.Rows() {
+		return nil, fmt.Errorf("comm: CG (%d×%d) and AG (%d×%d) must be square and equal-sized",
+			cg.Rows(), cg.Cols(), ag.Rows(), ag.Cols())
+	}
+	g := NewGraph(cg.Rows())
+	for i := 0; i < cg.Rows(); i++ {
+		for j := 0; j < cg.Cols(); j++ {
+			if i == j {
+				continue
+			}
+			v, m := cg.At(i, j), ag.At(i, j)
+			if v < 0 || m < 0 {
+				return nil, fmt.Errorf("comm: negative traffic at (%d,%d)", i, j)
+			}
+			if v > 0 || m > 0 {
+				g.AddTraffic(i, j, v, m)
+			}
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,252 @@
+package comm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"geoprocmap/internal/mat"
+)
+
+func TestAddTrafficAccumulates(t *testing.T) {
+	g := NewGraph(3)
+	g.AddTraffic(0, 1, 100, 2)
+	g.AddTraffic(0, 1, 50, 1)
+	if got := g.Volume(0, 1); got != 150 {
+		t.Errorf("Volume(0,1) = %v, want 150", got)
+	}
+	if got := g.Msgs(0, 1); got != 3 {
+		t.Errorf("Msgs(0,1) = %v, want 3", got)
+	}
+	if got := g.Volume(1, 0); got != 0 {
+		t.Errorf("reverse Volume = %v, want 0 (traffic is directed)", got)
+	}
+}
+
+func TestSelfTrafficIgnored(t *testing.T) {
+	g := NewGraph(2)
+	g.AddTraffic(1, 1, 100, 5)
+	if g.TotalVolume() != 0 || g.EdgeCount() != 0 {
+		t.Error("self traffic should be ignored")
+	}
+}
+
+func TestZeroTrafficNoEdge(t *testing.T) {
+	g := NewGraph(2)
+	g.AddTraffic(0, 1, 0, 0)
+	if g.EdgeCount() != 0 {
+		t.Error("zero traffic created an edge")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	g := NewGraph(2)
+	cases := []func(){
+		func() { g.AddTraffic(-1, 0, 1, 1) },
+		func() { g.AddTraffic(0, 2, 1, 1) },
+		func() { g.AddTraffic(0, 1, -1, 1) },
+		func() { g.AddTraffic(0, 1, 1, -1) },
+		func() { g.Volume(0, 5) },
+		func() { NewGraph(-1) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestOutgoingIncoming(t *testing.T) {
+	g := NewGraph(4)
+	g.AddTraffic(0, 2, 10, 1)
+	g.AddTraffic(0, 1, 20, 2)
+	g.AddTraffic(3, 0, 5, 1)
+	out := g.Outgoing(0)
+	if len(out) != 2 || out[0].Peer != 1 || out[1].Peer != 2 {
+		t.Errorf("Outgoing(0) = %v, want peers [1 2]", out)
+	}
+	in := g.Incoming(0)
+	if len(in) != 1 || in[0].Peer != 3 || in[0].Volume != 5 {
+		t.Errorf("Incoming(0) = %v, want [{3 5 1}]", in)
+	}
+}
+
+func TestNeighborsCombinesDirections(t *testing.T) {
+	g := NewGraph(3)
+	g.AddTraffic(0, 1, 10, 1)
+	g.AddTraffic(1, 0, 30, 2)
+	g.AddTraffic(2, 0, 7, 1)
+	got := map[int][2]float64{}
+	g.Neighbors(0, func(j int, vol, msgs float64) {
+		if _, dup := got[j]; dup {
+			t.Fatalf("neighbor %d reported twice", j)
+		}
+		got[j] = [2]float64{vol, msgs}
+	})
+	if got[1] != [2]float64{40, 3} {
+		t.Errorf("neighbor 1 = %v, want {40 3}", got[1])
+	}
+	if got[2] != [2]float64{7, 1} {
+		t.Errorf("neighbor 2 = %v, want {7 1}", got[2])
+	}
+}
+
+func TestQuantity(t *testing.T) {
+	g := NewGraph(3)
+	g.AddTraffic(0, 1, 10, 1)
+	g.AddTraffic(2, 0, 5, 1)
+	if got := g.Quantity(0); got != 15 {
+		t.Errorf("Quantity(0) = %v, want 15", got)
+	}
+	if got := g.Quantity(1); got != 10 {
+		t.Errorf("Quantity(1) = %v, want 10", got)
+	}
+}
+
+func TestTotalsAndDegree(t *testing.T) {
+	g := NewGraph(4)
+	g.AddTraffic(0, 1, 10, 1)
+	g.AddTraffic(0, 2, 10, 2)
+	g.AddTraffic(3, 0, 10, 3)
+	if g.TotalVolume() != 30 || g.TotalMsgs() != 6 {
+		t.Errorf("totals = %v/%v, want 30/6", g.TotalVolume(), g.TotalMsgs())
+	}
+	if g.EdgeCount() != 3 {
+		t.Errorf("EdgeCount = %d, want 3", g.EdgeCount())
+	}
+	if g.MaxDegree() != 3 {
+		t.Errorf("MaxDegree = %d, want 3 (process 0)", g.MaxDegree())
+	}
+}
+
+func TestDenseRoundTrip(t *testing.T) {
+	g := NewGraph(3)
+	g.AddTraffic(0, 1, 100, 2)
+	g.AddTraffic(1, 2, 50, 1)
+	g.AddTraffic(2, 0, 25, 4)
+	cg, ag := g.DenseCG(), g.DenseAG()
+	if cg.At(0, 1) != 100 || ag.At(2, 0) != 4 {
+		t.Error("dense matrices wrong")
+	}
+	back, err := FromDense(cg, ag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.TotalVolume() != g.TotalVolume() || back.TotalMsgs() != g.TotalMsgs() {
+		t.Error("FromDense lost traffic")
+	}
+	if back.Volume(1, 2) != 50 || back.Msgs(2, 0) != 4 {
+		t.Error("FromDense entries wrong")
+	}
+}
+
+func TestFromDenseErrors(t *testing.T) {
+	if _, err := FromDense(mat.New(2, 3), mat.NewSquare(2)); err == nil {
+		t.Error("non-square CG accepted")
+	}
+	if _, err := FromDense(mat.NewSquare(2), mat.NewSquare(3)); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	neg := mat.NewSquare(2)
+	neg.Set(0, 1, -5)
+	if _, err := FromDense(neg, mat.NewSquare(2)); err == nil {
+		t.Error("negative entry accepted")
+	}
+}
+
+// Property: TotalVolume equals the sum of the dense CG, and Quantity(i)
+// equals row-plus-column sums, for random sparse graphs.
+func TestQuickDenseConsistency(t *testing.T) {
+	f := func(seedEdges []uint32) bool {
+		const n = 9
+		g := NewGraph(n)
+		for _, raw := range seedEdges {
+			src := int(raw % n)
+			dst := int((raw / n) % n)
+			vol := float64(raw%1000) + 1
+			g.AddTraffic(src, dst, vol, 1)
+		}
+		cg := g.DenseCG()
+		if math.Abs(cg.Sum()-g.TotalVolume()) > 1e-6 {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			want := cg.RowSum(i) + cg.ColSum(i)
+			if math.Abs(g.Quantity(i)-want) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Neighbors reports each pair exactly once with direction-summed
+// traffic matching the dense matrices.
+func TestQuickNeighbors(t *testing.T) {
+	f := func(seedEdges []uint32) bool {
+		const n = 7
+		g := NewGraph(n)
+		for _, raw := range seedEdges {
+			g.AddTraffic(int(raw%n), int((raw/n)%n), float64(raw%97)+1, float64(raw%5)+1)
+		}
+		cg, ag := g.DenseCG(), g.DenseAG()
+		for i := 0; i < n; i++ {
+			seen := map[int]bool{}
+			ok := true
+			g.Neighbors(i, func(j int, vol, msgs float64) {
+				if seen[j] || j == i {
+					ok = false
+					return
+				}
+				seen[j] = true
+				if math.Abs(vol-(cg.At(i, j)+cg.At(j, i))) > 1e-9 {
+					ok = false
+				}
+				if math.Abs(msgs-(ag.At(i, j)+ag.At(j, i))) > 1e-9 {
+					ok = false
+				}
+			})
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNeighborsDeterministicOrder(t *testing.T) {
+	g := NewGraph(10)
+	// Insert edges in scrambled order.
+	for _, e := range [][2]int{{0, 7}, {3, 0}, {0, 1}, {9, 0}, {0, 4}} {
+		g.AddTraffic(e[0], e[1], 100, 1)
+	}
+	var order []int
+	g.Neighbors(0, func(j int, _, _ float64) { order = append(order, j) })
+	want := []int{1, 3, 4, 7, 9}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want ascending %v", order, want)
+		}
+	}
+	// Mutation invalidates the cache.
+	g.AddTraffic(2, 0, 50, 1)
+	order = order[:0]
+	g.Neighbors(0, func(j int, _, _ float64) { order = append(order, j) })
+	if len(order) != 6 || order[1] != 2 {
+		t.Fatalf("after mutation order = %v, want peer 2 included in place", order)
+	}
+}

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"geoprocmap/internal/flow"
+)
+
+// This file implements the multi-site data-movement constraint extension.
+// The paper's model pins a process to exactly one site (the C vector) and
+// explicitly defers the generalization: "we only consider the data
+// movement constraint on individual sites and leave the extension to
+// multiple site constraints in our future work" (Section 3.1). Here a
+// process may instead carry a *set* of admissible sites — e.g. "any EU
+// region" under data-residency law — via Problem.Allowed. Feasibility
+// becomes a bipartite b-matching question, decided with max-flow
+// (internal/flow); every mapper in this library honors the sets.
+
+// AllowedOn reports whether process i may be placed on site s under both
+// the pin vector and the allowed-site sets.
+func (p *Problem) AllowedOn(i, s int) bool {
+	if c := p.Constraint[i]; c != Unconstrained && c != s {
+		return false
+	}
+	if len(p.Allowed) == 0 || len(p.Allowed[i]) == 0 {
+		return true
+	}
+	for _, a := range p.Allowed[i] {
+		if a == s {
+			return true
+		}
+	}
+	return false
+}
+
+// HasSiteSets reports whether any process carries a multi-site restriction.
+func (p *Problem) HasSiteSets() bool {
+	for _, a := range p.Allowed {
+		if len(a) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// validateAllowed checks the allowed-site sets' structural invariants and
+// overall feasibility (Hall's condition via max-flow).
+func (p *Problem) validateAllowed() error {
+	if len(p.Allowed) == 0 {
+		return nil
+	}
+	n, m := p.N(), p.M()
+	if len(p.Allowed) != n {
+		return fmt.Errorf("core: allowed-site sets have length %d, want %d", len(p.Allowed), n)
+	}
+	for i, sites := range p.Allowed {
+		seen := map[int]bool{}
+		for _, s := range sites {
+			if s < 0 || s >= m {
+				return fmt.Errorf("core: process %d allows site %d out of range [0,%d)", i, s, m)
+			}
+			if seen[s] {
+				return fmt.Errorf("core: process %d lists site %d twice", i, s)
+			}
+			seen[s] = true
+		}
+		if c := p.Constraint[i]; c != Unconstrained && len(sites) > 0 && !seen[c] {
+			return fmt.Errorf("core: process %d is pinned to site %d but allows only %v", i, c, sites)
+		}
+	}
+	if _, err := p.feasibleAssignment(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// feasibleAssignment returns some placement satisfying pins, allowed sets
+// and capacities, or an error when none exists.
+func (p *Problem) feasibleAssignment() ([]int, error) {
+	n := p.N()
+	allowed := make([][]int, n)
+	for i := 0; i < n; i++ {
+		switch {
+		case p.Constraint[i] != Unconstrained:
+			allowed[i] = []int{p.Constraint[i]}
+		case len(p.Allowed) > 0:
+			allowed[i] = p.Allowed[i]
+		}
+	}
+	a := &flow.AssignmentProblem{Items: n, Capacity: p.Capacity, Allowed: allowed}
+	sol, err := a.Solve()
+	if err != nil {
+		return nil, fmt.Errorf("core: constraints are infeasible: %w", err)
+	}
+	return sol, nil
+}
+
+// constrainedRandomPlacement samples a feasible placement under
+// multi-site restrictions: processes are visited in random order, each
+// takes a random admissible site with free capacity, and augmenting paths
+// relocate earlier processes when a site is full. The walk always succeeds
+// on validated (feasible) problems.
+func constrainedRandomPlacement(p *Problem, rng *rand.Rand) (Placement, error) {
+	n, m := p.N(), p.M()
+	pl := make(Placement, n)
+	for i := range pl {
+		pl[i] = Unconstrained
+	}
+	load := make([]int, m)
+	members := make([][]int, m)
+
+	sitesOf := func(i int) []int {
+		if c := p.Constraint[i]; c != Unconstrained {
+			return []int{c}
+		}
+		if len(p.Allowed) > 0 && len(p.Allowed[i]) > 0 {
+			out := append([]int(nil), p.Allowed[i]...)
+			rng.Shuffle(len(out), func(a, b int) { out[a], out[b] = out[b], out[a] })
+			return out
+		}
+		out := rng.Perm(m)
+		return out
+	}
+
+	place := func(i, s int) {
+		pl[i] = s
+		load[s]++
+		members[s] = append(members[s], i)
+	}
+	unplace := func(i int) {
+		s := pl[i]
+		load[s]--
+		mem := members[s]
+		for idx, j := range mem {
+			if j == i {
+				mem[idx] = mem[len(mem)-1]
+				members[s] = mem[:len(mem)-1]
+				break
+			}
+		}
+		pl[i] = Unconstrained
+	}
+
+	var augment func(i int, visited []bool) bool
+	augment = func(i int, visited []bool) bool {
+		for _, s := range sitesOf(i) {
+			if visited[s] {
+				continue
+			}
+			visited[s] = true
+			if load[s] < p.Capacity[s] {
+				place(i, s)
+				return true
+			}
+			// Try relocating one current occupant of s elsewhere.
+			occupants := append([]int(nil), members[s]...)
+			rng.Shuffle(len(occupants), func(a, b int) { occupants[a], occupants[b] = occupants[b], occupants[a] })
+			for _, j := range occupants {
+				if p.Constraint[j] != Unconstrained {
+					continue // pinned occupants cannot move
+				}
+				unplace(j)
+				if augment(j, visited) {
+					place(i, s)
+					return true
+				}
+				place(j, s) // restore
+			}
+		}
+		return false
+	}
+
+	for _, i := range rng.Perm(n) {
+		visited := make([]bool, m)
+		if !augment(i, visited) {
+			return nil, fmt.Errorf("core: could not place process %d under the site restrictions", i)
+		}
+	}
+	return pl, nil
+}
+
+// RepairLeftovers places any still-unassigned processes (marked
+// Unconstrained in pl) onto admissible sites using augmenting paths,
+// relocating only unpinned processes. It is the fallback the heuristic
+// mappers use when greedy packing strands a restricted process.
+func RepairLeftovers(p *Problem, pl Placement) error {
+	m := p.M()
+	load := make([]int, m)
+	members := make([][]int, m)
+	var leftovers []int
+	for i, s := range pl {
+		if s == Unconstrained {
+			leftovers = append(leftovers, i)
+			continue
+		}
+		load[s]++
+		members[s] = append(members[s], i)
+	}
+	if len(leftovers) == 0 {
+		return nil
+	}
+	place := func(i, s int) {
+		pl[i] = s
+		load[s]++
+		members[s] = append(members[s], i)
+	}
+	unplace := func(i int) {
+		s := pl[i]
+		load[s]--
+		mem := members[s]
+		for idx, j := range mem {
+			if j == i {
+				mem[idx] = mem[len(mem)-1]
+				members[s] = mem[:len(mem)-1]
+				break
+			}
+		}
+		pl[i] = Unconstrained
+	}
+	var augment func(i int, visited []bool) bool
+	augment = func(i int, visited []bool) bool {
+		for s := 0; s < m; s++ {
+			if visited[s] || !p.AllowedOn(i, s) {
+				continue
+			}
+			visited[s] = true
+			if load[s] < p.Capacity[s] {
+				place(i, s)
+				return true
+			}
+			// Iterate a snapshot: relocations mutate members[s].
+			occupants := append([]int(nil), members[s]...)
+			for _, j := range occupants {
+				if p.Constraint[j] != Unconstrained {
+					continue
+				}
+				unplace(j)
+				if augment(j, visited) {
+					place(i, s)
+					return true
+				}
+				place(j, s) // restore
+			}
+		}
+		return false
+	}
+	for _, i := range leftovers {
+		visited := make([]bool, m)
+		if !augment(i, visited) {
+			return fmt.Errorf("core: cannot repair placement: process %d has no admissible slot", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,264 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"geoprocmap/internal/mat"
+	"geoprocmap/internal/stats"
+)
+
+// withSiteSets attaches multi-site restrictions to a clustered problem:
+// the first third may only use sites {0, 1}, the second third only
+// {m-1}, the rest unrestricted.
+func withSiteSets(n, m int, seed int64) *Problem {
+	p := clusteredProblem(n, m, seed)
+	p.Allowed = make([][]int, n)
+	for i := 0; i < n/3; i++ {
+		p.Allowed[i] = []int{0, 1 % m}
+	}
+	for i := n / 3; i < 2*n/3; i++ {
+		p.Allowed[i] = []int{m - 1}
+	}
+	return p
+}
+
+func TestAllowedOn(t *testing.T) {
+	p := twoSiteProblem()
+	p.Allowed = [][]int{{1}, nil, {0, 1}, nil}
+	if p.AllowedOn(0, 0) || !p.AllowedOn(0, 1) {
+		t.Error("singleton allowed set misapplied")
+	}
+	if !p.AllowedOn(1, 0) || !p.AllowedOn(1, 1) {
+		t.Error("empty set should allow everything")
+	}
+	p.Constraint[1] = 0
+	if p.AllowedOn(1, 1) {
+		t.Error("pin must dominate an empty allowed set")
+	}
+}
+
+func TestValidateAllowed(t *testing.T) {
+	base := func() *Problem { return twoSiteProblem() }
+
+	p := base()
+	p.Allowed = [][]int{{0}, {0}, nil, nil}
+	if err := p.Validate(); err != nil {
+		t.Errorf("feasible site sets rejected: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		fn   func(p *Problem)
+	}{
+		{"wrong length", func(p *Problem) { p.Allowed = [][]int{{0}} }},
+		{"out of range", func(p *Problem) { p.Allowed = [][]int{{5}, nil, nil, nil} }},
+		{"duplicate site", func(p *Problem) { p.Allowed = [][]int{{0, 0}, nil, nil, nil} }},
+		{"pin outside set", func(p *Problem) {
+			p.Constraint[0] = 1
+			p.Allowed = [][]int{{0}, nil, nil, nil}
+		}},
+		{"hall violation", func(p *Problem) {
+			// Three processes restricted to site 0, capacity 2.
+			p.Allowed = [][]int{{0}, {0}, {0}, nil}
+		}},
+	}
+	for _, tc := range cases {
+		p := base()
+		tc.fn(p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestCheckPlacementAllowed(t *testing.T) {
+	p := twoSiteProblem()
+	p.Allowed = [][]int{{1}, nil, nil, nil}
+	if err := p.CheckPlacement(Placement{1, 0, 0, 1}); err != nil {
+		t.Errorf("admissible placement rejected: %v", err)
+	}
+	if err := p.CheckPlacement(Placement{0, 1, 0, 1}); err == nil {
+		t.Error("inadmissible placement accepted")
+	}
+}
+
+func TestConstrainedRandomPlacement(t *testing.T) {
+	p := withSiteSets(18, 3, 4)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRand(1)
+	seen := map[string]bool{}
+	for i := 0; i < 50; i++ {
+		pl, err := RandomPlacement(p, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.CheckPlacement(pl); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		key := ""
+		for _, s := range pl {
+			key += string(rune('0' + s))
+		}
+		seen[key] = true
+	}
+	if len(seen) < 10 {
+		t.Errorf("only %d distinct constrained placements in 50 draws; sampler not random", len(seen))
+	}
+}
+
+func TestConstrainedRandomPlacementTight(t *testing.T) {
+	// Fully determined instance: two sites with capacity 2 each, all four
+	// processes restricted to exactly one site.
+	p := twoSiteProblem()
+	p.Allowed = [][]int{{0}, {0}, {1}, {1}}
+	pl, err := RandomPlacement(p, stats.NewRand(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pl.Equal(mat.IntVec{0, 0, 1, 1}) {
+		t.Errorf("tight placement = %v, want [0 0 1 1]", pl)
+	}
+}
+
+func TestConstrainedRandomPlacementNeedsAugmenting(t *testing.T) {
+	// Site 0 has capacity 2; processes 0,1 allow {0,1} and processes 2,3
+	// allow only {0}. A naive greedy that parks 0 and 1 on site 0 first
+	// must relocate them via augmenting paths.
+	p := twoSiteProblem()
+	p.Allowed = [][]int{{0, 1}, {0, 1}, {0}, {0}}
+	for seed := int64(0); seed < 20; seed++ {
+		pl, err := RandomPlacement(p, stats.NewRand(seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if pl[2] != 0 || pl[3] != 0 {
+			t.Fatalf("seed %d: restricted processes misplaced: %v", seed, pl)
+		}
+		if err := p.CheckPlacement(pl); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestGeoMapperWithSiteSets(t *testing.T) {
+	p := withSiteSets(24, 3, 7)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	pl, err := (&GeoMapper{Kappa: 3, Seed: 1}).Map(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CheckPlacement(pl); err != nil {
+		t.Fatalf("geo placement violates site sets: %v", err)
+	}
+}
+
+func TestGeoMapperSiteSetsStillOptimize(t *testing.T) {
+	p := withSiteSets(24, 3, 9)
+	pl, err := (&GeoMapper{Kappa: 3, Seed: 1}).Map(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRand(5)
+	var costs []float64
+	for i := 0; i < 30; i++ {
+		rp, err := RandomPlacement(p, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		costs = append(costs, p.Cost(rp))
+	}
+	if p.Cost(pl) > stats.Mean(costs) {
+		t.Errorf("geo cost %v not below random mean %v under site sets", p.Cost(pl), stats.Mean(costs))
+	}
+}
+
+func TestRepairLeftovers(t *testing.T) {
+	p := twoSiteProblem()
+	p.Allowed = [][]int{{0, 1}, {0, 1}, {0}, {0}}
+	// Pathological partial placement: 0 and 1 occupy site 0; 2 and 3 are
+	// unplaced and only admissible on site 0.
+	pl := Placement{0, 0, Unconstrained, Unconstrained}
+	if err := RepairLeftovers(p, pl); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CheckPlacement(pl); err != nil {
+		t.Fatalf("repair produced infeasible placement: %v", err)
+	}
+	if pl[2] != 0 || pl[3] != 0 {
+		t.Errorf("restricted processes not at site 0: %v", pl)
+	}
+}
+
+func TestRepairLeftoversInfeasible(t *testing.T) {
+	p := twoSiteProblem()
+	p.Allowed = [][]int{{0}, {0}, {0}, nil}
+	// Three processes needing site 0 (capacity 2): repair must fail.
+	pl := Placement{0, 0, Unconstrained, 1}
+	if err := RepairLeftovers(p, pl); err == nil {
+		t.Error("infeasible repair succeeded")
+	}
+}
+
+// Property: on random feasible site-set instances, RandomPlacement and
+// GeoMapper always produce admissible placements.
+func TestQuickSiteSetsFeasible(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint8, masks []uint8) bool {
+		n := int(nRaw%16) + 4
+		m := int(mRaw%3) + 2
+		p := clusteredProblem(n, m, seed)
+		p.Allowed = make([][]int, n)
+		for i := 0; i < n && i < len(masks); i++ {
+			for s := 0; s < m; s++ {
+				if masks[i]&(1<<uint(s)) != 0 {
+					p.Allowed[i] = append(p.Allowed[i], s)
+				}
+			}
+		}
+		if p.Validate() != nil {
+			return true // infeasible mask draw; skip
+		}
+		pl, err := RandomPlacement(p, stats.NewRand(seed))
+		if err != nil || p.CheckPlacement(pl) != nil {
+			return false
+		}
+		gp, err := (&GeoMapper{Kappa: 3, Seed: seed}).Map(p)
+		if err != nil || p.CheckPlacement(gp) != nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Regression: a tight instance (all capacities exactly filled, overlapping
+// small allowed sets) on which RepairLeftovers once mis-iterated its
+// occupant list and reported false infeasibility.
+func TestGeoMapperTightSiteSetsRegression(t *testing.T) {
+	masks := []byte{0xae, 0x23, 0xb6, 0x41, 0xe3, 0x3e, 0x5c, 0x53}
+	p := clusteredProblem(8, 4, -5635030028237787357)
+	p.Allowed = make([][]int, 8)
+	for i := range p.Allowed {
+		for s := 0; s < 4; s++ {
+			if masks[i]&(1<<uint(s)) != 0 {
+				p.Allowed[i] = append(p.Allowed[i], s)
+			}
+		}
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	pl, err := (&GeoMapper{Kappa: 3, Seed: -5635030028237787357}).Map(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CheckPlacement(pl); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"geoprocmap/internal/mat"
+)
+
+// PlacementStats summarizes where a placement puts traffic — the
+// diagnostics the geomap tool prints so an operator can see *why* a
+// mapping is good or bad.
+type PlacementStats struct {
+	// Load[j] is the number of processes at site j.
+	Load mat.IntVec
+	// SiteTraffic(k, l) is the volume in bytes flowing from site k to
+	// site l under the placement (diagonal = intra-site volume).
+	SiteTraffic *mat.Matrix
+	// IntraVolume and CrossVolume split the total traffic.
+	IntraVolume float64
+	CrossVolume float64
+	// CrossMsgs counts messages crossing site boundaries.
+	CrossMsgs float64
+	// Cost is the placement's Formula 4 cost.
+	Cost float64
+}
+
+// Diagnose computes placement statistics. The placement must be feasible.
+func (p *Problem) Diagnose(pl Placement) (*PlacementStats, error) {
+	if err := p.CheckPlacement(pl); err != nil {
+		return nil, err
+	}
+	m := p.M()
+	st := &PlacementStats{
+		Load:        mat.NewIntVec(m, 0),
+		SiteTraffic: mat.NewSquare(m),
+		Cost:        p.Cost(pl),
+	}
+	for _, s := range pl {
+		st.Load[s]++
+	}
+	for i := 0; i < p.N(); i++ {
+		si := pl[i]
+		for _, e := range p.Comm.Outgoing(i) {
+			sj := pl[e.Peer]
+			st.SiteTraffic.Add(si, sj, e.Volume)
+			if si == sj {
+				st.IntraVolume += e.Volume
+			} else {
+				st.CrossVolume += e.Volume
+				st.CrossMsgs += e.Msgs
+			}
+		}
+	}
+	return st, nil
+}
+
+// CrossFraction returns the share of traffic volume crossing the WAN.
+func (s *PlacementStats) CrossFraction() float64 {
+	total := s.IntraVolume + s.CrossVolume
+	if total == 0 {
+		return 0
+	}
+	return s.CrossVolume / total
+}
+
+// TopWANFlows returns the k heaviest inter-site flows as (from, to,
+// volume) triples, heaviest first.
+func (s *PlacementStats) TopWANFlows(k int) [][3]float64 {
+	type flow struct {
+		from, to int
+		vol      float64
+	}
+	var flows []flow
+	m := s.SiteTraffic.Rows()
+	for a := 0; a < m; a++ {
+		for b := 0; b < m; b++ {
+			if a == b {
+				continue
+			}
+			if v := s.SiteTraffic.At(a, b); v > 0 {
+				flows = append(flows, flow{a, b, v})
+			}
+		}
+	}
+	sort.Slice(flows, func(i, j int) bool {
+		if flows[i].vol != flows[j].vol {
+			return flows[i].vol > flows[j].vol
+		}
+		if flows[i].from != flows[j].from {
+			return flows[i].from < flows[j].from
+		}
+		return flows[i].to < flows[j].to
+	})
+	if k > len(flows) {
+		k = len(flows)
+	}
+	out := make([][3]float64, 0, k)
+	for _, f := range flows[:k] {
+		out = append(out, [3]float64{float64(f.from), float64(f.to), f.vol})
+	}
+	return out
+}
+
+// String renders a compact diagnostic block.
+func (s *PlacementStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cost %.4f, cross-WAN volume %.1f%% (%.2f MB over %d messages)\n",
+		s.Cost, 100*s.CrossFraction(), s.CrossVolume/1e6, int(s.CrossMsgs))
+	fmt.Fprintf(&b, "site loads: %v\n", s.Load)
+	for _, f := range s.TopWANFlows(3) {
+		fmt.Fprintf(&b, "  WAN flow site %d → site %d: %.2f MB\n", int(f[0]), int(f[1]), f[2]/1e6)
+	}
+	return b.String()
+}

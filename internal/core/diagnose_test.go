@@ -1,0 +1,85 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"geoprocmap/internal/stats"
+)
+
+func TestDiagnoseBasics(t *testing.T) {
+	p := twoSiteProblem()
+	st, err := p.Diagnose(Placement{0, 0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Load[0] != 2 || st.Load[1] != 2 {
+		t.Errorf("loads = %v", st.Load)
+	}
+	// Edges: (0,1)=1e6 intra site 0; (2,3)=1e6 intra site 1; (0,2)=1e3 cross.
+	if st.IntraVolume != 2e6 {
+		t.Errorf("intra = %v, want 2e6", st.IntraVolume)
+	}
+	if st.CrossVolume != 1e3 || st.CrossMsgs != 1 {
+		t.Errorf("cross = %v/%v, want 1e3/1", st.CrossVolume, st.CrossMsgs)
+	}
+	if got := st.SiteTraffic.At(0, 1); got != 1e3 {
+		t.Errorf("SiteTraffic(0,1) = %v", got)
+	}
+	if math.Abs(st.Cost-p.Cost(Placement{0, 0, 1, 1})) > 1e-12 {
+		t.Error("cost mismatch")
+	}
+	wantFrac := 1e3 / (2e6 + 1e3)
+	if math.Abs(st.CrossFraction()-wantFrac) > 1e-12 {
+		t.Errorf("CrossFraction = %v, want %v", st.CrossFraction(), wantFrac)
+	}
+}
+
+func TestDiagnoseRejectsInfeasible(t *testing.T) {
+	p := twoSiteProblem()
+	if _, err := p.Diagnose(Placement{0, 0, 0, 1}); err == nil {
+		t.Error("overfull placement accepted")
+	}
+}
+
+func TestTopWANFlows(t *testing.T) {
+	p := clusteredProblem(16, 4, 3)
+	pl, err := RandomPlacement(p, stats.NewRand(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := p.Diagnose(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := st.TopWANFlows(5)
+	for i := 1; i < len(flows); i++ {
+		if flows[i][2] > flows[i-1][2] {
+			t.Fatalf("flows not sorted: %v", flows)
+		}
+	}
+	// Asking for more flows than exist is clamped.
+	if got := st.TopWANFlows(1000); len(got) > 12 {
+		t.Errorf("too many flows: %d", len(got))
+	}
+	if !strings.Contains(st.String(), "cross-WAN volume") {
+		t.Error("String output malformed")
+	}
+}
+
+func TestDiagnoseAllIntra(t *testing.T) {
+	p := twoSiteProblem()
+	// Remove the cross edge's influence by placing its endpoints together.
+	st, err := p.Diagnose(Placement{0, 0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CrossFraction() >= 1 {
+		t.Error("cross fraction should be small")
+	}
+	empty := &PlacementStats{SiteTraffic: st.SiteTraffic}
+	if empty.CrossFraction() != 0 {
+		t.Error("zero-traffic CrossFraction should be 0")
+	}
+}

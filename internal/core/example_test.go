@@ -1,0 +1,77 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"geoprocmap/internal/apps"
+	"geoprocmap/internal/core"
+	"geoprocmap/internal/netmodel"
+)
+
+// ExampleGeoMapper_Map shows the minimal path from a workload and a cloud
+// to a placement: profile the pattern, assemble the problem with the
+// cloud's ground-truth matrices, and run Algorithm 1.
+func ExampleGeoMapper_Map() {
+	cloud, err := netmodel.PaperCloud(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pattern, err := apps.Graph(apps.NewLU(), 64, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	constraint := make(core.Placement, 64)
+	for i := range constraint {
+		constraint[i] = core.Unconstrained
+	}
+	problem := &core.Problem{
+		Comm:       pattern,
+		LT:         cloud.LT,
+		BT:         cloud.BT,
+		PC:         cloud.Coordinates(),
+		Capacity:   cloud.Capacity(),
+		Constraint: constraint,
+	}
+	placement, err := (&core.GeoMapper{Kappa: 4, Seed: 1}).Map(problem)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("feasible:", problem.CheckPlacement(placement) == nil)
+	fmt.Println("sites used:", placement.Histogram(4))
+	// Output:
+	// feasible: true
+	// sites used: [16 16 16 16]
+}
+
+// ExampleProblem_Diagnose inspects where a placement puts its traffic.
+func ExampleProblem_Diagnose() {
+	cloud, err := netmodel.PaperCloud(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pattern, err := apps.Graph(apps.NewLU(), 64, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	constraint := make(core.Placement, 64)
+	for i := range constraint {
+		constraint[i] = core.Unconstrained
+	}
+	problem := &core.Problem{
+		Comm: pattern, LT: cloud.LT, BT: cloud.BT,
+		PC: cloud.Coordinates(), Capacity: cloud.Capacity(), Constraint: constraint,
+	}
+	// A block placement keeps LU's grid rows together.
+	block := make(core.Placement, 64)
+	for i := range block {
+		block[i] = i / 16
+	}
+	st, err := problem.Diagnose(block)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cross-WAN share: %.0f%%\n", 100*st.CrossFraction())
+	// Output:
+	// cross-WAN share: 28%
+}

@@ -1,0 +1,370 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"geoprocmap/internal/mat"
+	"geoprocmap/internal/stats"
+)
+
+// GeoMapper implements the paper's Geo-distributed process-mapping
+// algorithm (Algorithm 1):
+//
+//  1. cluster the M sites into κ groups with K-means over their physical
+//     coordinates (grouping optimization, Section 4.2);
+//  2. for every order θ of the κ groups, greedily build a placement: pin
+//     constrained processes first, then walk groups in order and fill each
+//     group's sites — largest remaining capacity first — starting from the
+//     globally heaviest-communicating unselected process and repeatedly
+//     adding the unselected process with the heaviest communication to the
+//     processes already in the site;
+//  3. keep the order whose placement has the minimum cost (Formula 4).
+//
+// The complexity is O(κ!·N²); the grouping step keeps κ small (the paper
+// recommends κ ≤ 5) so the order search stays tractable for large M.
+type GeoMapper struct {
+	// Kappa is the number of K-means site groups κ. Zero selects the
+	// default of min(M, 4). Values above MaxKappa are rejected to keep the
+	// κ! order enumeration bounded.
+	Kappa int
+	// Seed drives the K-means initialization.
+	Seed int64
+	// MaxOrders, when positive, caps the number of group orders examined.
+	// Zero examines all κ! orders, as in the paper.
+	MaxOrders int
+	// DisableGrouping skips the K-means step and treats every site as its
+	// own group (used by the ablation study). The order search then
+	// enumerates M! site orders, so it is only usable for small M.
+	DisableGrouping bool
+	// SingleOrder, when true, evaluates only the identity group order
+	// instead of searching all κ! orders (used by the ablation study).
+	SingleOrder bool
+	// RefinePasses, when positive, polishes the best placement with that
+	// many sweeps of first-improvement pairwise exchanges on the true
+	// cost function. This is an extension beyond the paper's Algorithm 1
+	// (which returns the packing result directly); each sweep is O(N²·deg)
+	// so it trades overhead for solution quality, quantified by
+	// BenchmarkAblationRefinement.
+	RefinePasses int
+}
+
+// MaxKappa bounds the group count so κ! stays tractable.
+const MaxKappa = 8
+
+// Name implements Mapper.
+func (g *GeoMapper) Name() string { return "Geo-distributed" }
+
+// Map implements Mapper. It returns the best placement found across all
+// examined group orders.
+func (g *GeoMapper) Map(p *Problem) (Placement, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	kappa := g.Kappa
+	if kappa == 0 {
+		kappa = 4
+	}
+	if kappa < 1 {
+		return nil, fmt.Errorf("core: kappa = %d, want >= 1", kappa)
+	}
+	if kappa > MaxKappa {
+		return nil, fmt.Errorf("core: kappa = %d exceeds MaxKappa = %d; the κ! order search would be intractable", kappa, MaxKappa)
+	}
+
+	var groups [][]int
+	if g.DisableGrouping {
+		if p.M() > MaxKappa {
+			return nil, fmt.Errorf("core: grouping disabled with M = %d sites; order search over M! orders is intractable (max %d)", p.M(), MaxKappa)
+		}
+		for j := 0; j < p.M(); j++ {
+			groups = append(groups, []int{j})
+		}
+	} else {
+		var err error
+		groups, err = GroupSites(p.PC, kappa, g.Seed)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	h := newHeuristicState(p)
+	var best Placement
+	bestCost := math.Inf(1)
+	orders := 0
+	tryOrder := func(perm []int) bool {
+		ordered := make([][]int, len(perm))
+		for i, gi := range perm {
+			ordered[i] = groups[gi]
+		}
+		pl := h.fill(ordered)
+		if p.HasSiteSets() {
+			// Multi-site restrictions can strand processes the greedy
+			// packing could not fit; relocate via augmenting paths.
+			if err := RepairLeftovers(p, pl); err != nil {
+				orders++
+				return g.MaxOrders <= 0 || orders < g.MaxOrders
+			}
+		}
+		if c := p.Cost(pl); c < bestCost {
+			bestCost = c
+			best = pl.Clone()
+		}
+		orders++
+		return g.MaxOrders <= 0 || orders < g.MaxOrders
+	}
+	if g.SingleOrder {
+		perm := make([]int, len(groups))
+		for i := range perm {
+			perm[i] = i
+		}
+		tryOrder(perm)
+	} else {
+		stats.Permutations(len(groups), tryOrder)
+	}
+	if best == nil {
+		return nil, fmt.Errorf("core: no placement produced")
+	}
+	for pass := 0; pass < g.RefinePasses; pass++ {
+		if !refinePass(p, best, &bestCost) {
+			break
+		}
+	}
+	return best, nil
+}
+
+// refinePass applies one sweep of first-improvement pairwise exchanges of
+// unpinned, mutually-admissible processes, updating pl and cost in place.
+func refinePass(p *Problem, pl Placement, cost *float64) bool {
+	n := p.N()
+	improved := false
+	for a := 0; a < n; a++ {
+		if p.Constraint[a] != Unconstrained {
+			continue
+		}
+		for b := a + 1; b < n; b++ {
+			if p.Constraint[b] != Unconstrained || pl[a] == pl[b] {
+				continue
+			}
+			if !p.AllowedOn(a, pl[b]) || !p.AllowedOn(b, pl[a]) {
+				continue
+			}
+			delta := exchangeDelta(p, pl, a, b)
+			if delta < -1e-12 {
+				pl[a], pl[b] = pl[b], pl[a]
+				*cost += delta
+				improved = true
+			}
+		}
+	}
+	return improved
+}
+
+// exchangeDelta is the cost change of swapping the sites of processes a
+// and b, computed locally over their incident edges.
+func exchangeDelta(p *Problem, pl Placement, a, b int) float64 {
+	sa, sb := pl[a], pl[b]
+	site := func(j int) int {
+		switch j {
+		case a:
+			return sb
+		case b:
+			return sa
+		default:
+			return pl[j]
+		}
+	}
+	var delta float64
+	edge := func(i, j int, vol, msgs float64) {
+		oldSi, oldSj := pl[i], pl[j]
+		newSi, newSj := site(i), site(j)
+		delta -= msgs*p.LT.At(oldSi, oldSj) + vol/p.BT.At(oldSi, oldSj)
+		delta += msgs*p.LT.At(newSi, newSj) + vol/p.BT.At(newSi, newSj)
+	}
+	for _, e := range p.Comm.Outgoing(a) {
+		edge(a, e.Peer, e.Volume, e.Msgs)
+	}
+	for _, e := range p.Comm.Incoming(a) {
+		edge(e.Peer, a, e.Volume, e.Msgs)
+	}
+	for _, e := range p.Comm.Outgoing(b) {
+		if e.Peer != a {
+			edge(b, e.Peer, e.Volume, e.Msgs)
+		}
+	}
+	for _, e := range p.Comm.Incoming(b) {
+		if e.Peer != a {
+			edge(e.Peer, b, e.Volume, e.Msgs)
+		}
+	}
+	return delta
+}
+
+// heuristicState carries the reusable buffers of the per-order greedy fill,
+// so the κ! order evaluations do not reallocate.
+type heuristicState struct {
+	p        *Problem
+	quantity []float64 // static per-process communication quantity
+	refLat   float64
+	refBW    float64
+
+	selected []bool
+	affinity []float64
+	avail    mat.IntVec
+	members  [][]int // processes currently placed per site
+	pl       Placement
+}
+
+func newHeuristicState(p *Problem) *heuristicState {
+	n := p.N()
+	refLat, refBW := p.referenceWeights()
+	h := &heuristicState{
+		p:        p,
+		quantity: make([]float64, n),
+		refLat:   refLat,
+		refBW:    refBW,
+		selected: make([]bool, n),
+		affinity: make([]float64, n),
+		avail:    make(mat.IntVec, p.M()),
+		members:  make([][]int, p.M()),
+		pl:       make(Placement, n),
+	}
+	for i := 0; i < n; i++ {
+		var q float64
+		p.Comm.Neighbors(i, func(_ int, vol, msgs float64) {
+			q += h.weight(vol, msgs)
+		})
+		h.quantity[i] = q
+	}
+	return h
+}
+
+// weight converts a (volume, msgs) pair into a scalar commensurate with
+// the α–β cost on an average inter-site link, so "heaviest communication
+// quantity" accounts for both the bandwidth and the latency term.
+func (h *heuristicState) weight(vol, msgs float64) float64 {
+	return msgs*h.refLat + vol/h.refBW
+}
+
+// fill runs the greedy body of Algorithm 1 (lines 3–15) for one ordered
+// group sequence and returns the resulting placement. The returned slice is
+// reused by subsequent calls; callers must clone it to retain it.
+func (h *heuristicState) fill(orderedGroups [][]int) Placement {
+	p := h.p
+	n := p.N()
+	for i := range h.selected {
+		h.selected[i] = false
+		h.pl[i] = Unconstrained
+	}
+	copy(h.avail, p.Capacity)
+	for j := range h.members {
+		h.members[j] = h.members[j][:0]
+	}
+	remaining := n
+
+	// Lines 4–6: pin constrained processes and reduce availability.
+	for i, c := range p.Constraint {
+		if c == Unconstrained {
+			continue
+		}
+		h.pl[i] = c
+		h.selected[i] = true
+		h.avail[c]--
+		h.members[c] = append(h.members[c], i)
+		remaining--
+	}
+
+	// Lines 7–15: walk groups in order, filling sites one at a time.
+	for _, group := range orderedGroups {
+		if remaining == 0 {
+			break
+		}
+		// Each iteration picks the unselected site in the group with the
+		// most available nodes (line 10).
+		groupDone := make([]bool, len(group))
+		for j := 0; j < len(group); j++ {
+			site, bestAvail, bestIdx := -1, -1, -1
+			for idx, s := range group {
+				if !groupDone[idx] && h.avail[s] > bestAvail {
+					site, bestAvail, bestIdx = s, h.avail[s], idx
+				}
+			}
+			if site == -1 {
+				break
+			}
+			groupDone[bestIdx] = true
+			if h.avail[site] == 0 {
+				continue
+			}
+			if remaining == 0 {
+				break
+			}
+
+			// Line 9: seed with the globally heaviest unselected process
+			// admissible on this site.
+			seed := -1
+			bestQ := math.Inf(-1)
+			for i := 0; i < n; i++ {
+				if !h.selected[i] && h.quantity[i] > bestQ && p.AllowedOn(i, site) {
+					seed, bestQ = i, h.quantity[i]
+				}
+			}
+			if seed == -1 {
+				continue // no admissible process for this site
+			}
+			h.place(seed, site)
+			remaining--
+
+			// Lines 12–14: fill the rest of the site with the processes
+			// most attached to what is already there.
+			h.rebuildAffinity(site)
+			for h.avail[site] > 0 && remaining > 0 {
+				next := -1
+				bestA := math.Inf(-1)
+				for i := 0; i < n; i++ {
+					if h.selected[i] || !p.AllowedOn(i, site) {
+						continue
+					}
+					a := h.affinity[i]
+					if a > bestA || (a == bestA && next >= 0 && h.quantity[i] > h.quantity[next]) {
+						next, bestA = i, a
+					}
+				}
+				if next == -1 {
+					break // remaining processes are inadmissible here
+				}
+				h.place(next, site)
+				remaining--
+				h.addAffinity(next)
+			}
+		}
+	}
+	return h.pl
+}
+
+// place assigns process i to site and updates capacity bookkeeping.
+func (h *heuristicState) place(i, site int) {
+	h.pl[i] = site
+	h.selected[i] = true
+	h.avail[site]--
+	h.members[site] = append(h.members[site], i)
+}
+
+// rebuildAffinity recomputes, for every process, its total communication
+// weight with the processes already placed at site.
+func (h *heuristicState) rebuildAffinity(site int) {
+	for i := range h.affinity {
+		h.affinity[i] = 0
+	}
+	for _, s := range h.members[site] {
+		h.addAffinity(s)
+	}
+}
+
+// addAffinity adds process s's traffic into the affinity array after s has
+// been placed at the site currently being filled.
+func (h *heuristicState) addAffinity(s int) {
+	h.p.Comm.Neighbors(s, func(j int, vol, msgs float64) {
+		h.affinity[j] += h.weight(vol, msgs)
+	})
+}

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"fmt"
+
+	"geoprocmap/internal/geo"
+	"geoprocmap/internal/kmeans"
+	"geoprocmap/internal/stats"
+)
+
+// GroupSites clusters the M sites into at most kappa groups by K-means over
+// their physical coordinates (latitude, longitude) with Euclidean distance
+// and Forgy initialization, exactly as the paper's grouping optimization
+// prescribes. Empty clusters are dropped, so the result may have fewer than
+// kappa groups; each group is a non-empty slice of site indices and every
+// site appears in exactly one group.
+func GroupSites(pc []geo.LatLon, kappa int, seed int64) ([][]int, error) {
+	m := len(pc)
+	if m == 0 {
+		return nil, fmt.Errorf("core: no sites to group")
+	}
+	if kappa < 1 {
+		return nil, fmt.Errorf("core: kappa = %d, want >= 1", kappa)
+	}
+	if kappa > m {
+		kappa = m
+	}
+	points := make([]kmeans.Point, m)
+	for i, c := range pc {
+		points[i] = kmeans.Point{c.Lat, c.Lon}
+	}
+	res, err := kmeans.Cluster(points, kappa, 100, stats.NewRand(seed))
+	if err != nil {
+		return nil, fmt.Errorf("core: grouping sites: %w", err)
+	}
+	var groups [][]int
+	for _, g := range kmeans.Groups(res.Assignment, kappa) {
+		if len(g) > 0 {
+			groups = append(groups, g)
+		}
+	}
+	return groups, nil
+}

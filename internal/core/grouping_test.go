@@ -1,0 +1,134 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"geoprocmap/internal/geo"
+)
+
+func paperPC() []geo.LatLon {
+	names := []string{"us-east-1", "us-west-1", "ap-southeast-1", "eu-west-1"}
+	out := make([]geo.LatLon, len(names))
+	for i, n := range names {
+		out[i] = geo.MustRegion(geo.EC2Regions, n).Location
+	}
+	return out
+}
+
+func TestGroupSitesPartition(t *testing.T) {
+	pc := paperPC()
+	groups, err := GroupSites(pc, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, g := range groups {
+		if len(g) == 0 {
+			t.Error("empty group returned")
+		}
+		for _, s := range g {
+			if seen[s] {
+				t.Errorf("site %d in multiple groups", s)
+			}
+			seen[s] = true
+		}
+	}
+	if len(seen) != len(pc) {
+		t.Errorf("groups cover %d sites, want %d", len(seen), len(pc))
+	}
+}
+
+// With κ=3 over {US-East, US-West, Singapore, Ireland}, Forgy picks three
+// of the four sites as initial centroids and the leftover joins its nearest
+// neighbor. Singapore must therefore never group with a US site, and some
+// seeds must group US East with US West (the two closest sites).
+func TestGroupSitesGeographicSanity(t *testing.T) {
+	pc := paperPC()
+	usTogether := 0
+	for seed := int64(0); seed < 10; seed++ {
+		groups, err := GroupSites(pc, 3, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, g := range groups {
+			hasEast, hasWest, hasSG := false, false, false
+			for _, s := range g {
+				switch s {
+				case 0:
+					hasEast = true
+				case 1:
+					hasWest = true
+				case 2:
+					hasSG = true
+				}
+			}
+			if hasSG && (hasEast || hasWest) {
+				t.Errorf("seed %d: Singapore grouped with a US site: %v", seed, groups)
+			}
+			if hasEast && hasWest {
+				usTogether++
+			}
+		}
+	}
+	if usTogether == 0 {
+		t.Error("US East/West never grouped together across 10 seeds")
+	}
+}
+
+func TestGroupSitesKappaClamp(t *testing.T) {
+	pc := paperPC()
+	groups, err := GroupSites(pc, 99, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) > len(pc) {
+		t.Errorf("%d groups for %d sites", len(groups), len(pc))
+	}
+}
+
+func TestGroupSitesErrors(t *testing.T) {
+	if _, err := GroupSites(nil, 2, 1); err == nil {
+		t.Error("empty PC accepted")
+	}
+	if _, err := GroupSites(paperPC(), 0, 1); err == nil {
+		t.Error("kappa=0 accepted")
+	}
+}
+
+// Property: GroupSites always returns a partition of the site set.
+func TestQuickGroupSitesPartition(t *testing.T) {
+	f := func(seed int64, mRaw, kRaw uint8) bool {
+		m := int(mRaw%12) + 1
+		kappa := int(kRaw%6) + 1
+		rng := seed
+		pc := make([]geo.LatLon, m)
+		for i := range pc {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			pc[i] = geo.LatLon{
+				Lat: float64(rng%180000)/1000 - 90,
+				Lon: float64((rng/7)%360000)/1000 - 180,
+			}
+		}
+		groups, err := GroupSites(pc, kappa, seed)
+		if err != nil {
+			return false
+		}
+		seen := make(map[int]bool)
+		for _, g := range groups {
+			if len(g) == 0 {
+				return false
+			}
+			for _, s := range g {
+				if s < 0 || s >= m || seen[s] {
+					return false
+				}
+				seen[s] = true
+			}
+		}
+		return len(seen) == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

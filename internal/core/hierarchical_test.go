@@ -1,0 +1,149 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"geoprocmap/internal/stats"
+)
+
+func TestHierarchicalSmallFallsBackToFlat(t *testing.T) {
+	p := clusteredProblem(16, 4, 3)
+	h := &HierarchicalGeoMapper{Kappa: 4, Seed: 1}
+	pl, err := h.Map(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CheckPlacement(pl); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHierarchicalManySites(t *testing.T) {
+	// 12 sites on a line: too many for an ungrouped order search, handled
+	// hierarchically.
+	p := clusteredProblem(48, 12, 5)
+	h := &HierarchicalGeoMapper{Kappa: 3, Seed: 2, LeafSites: 4}
+	pl, err := h.Map(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CheckPlacement(pl); err != nil {
+		t.Fatal(err)
+	}
+	// It must clearly beat random and be competitive with the flat mapper.
+	rng := stats.NewRand(7)
+	var rc []float64
+	for i := 0; i < 30; i++ {
+		rp, err := RandomPlacement(p, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc = append(rc, p.Cost(rp))
+	}
+	if p.Cost(pl) > stats.Mean(rc)*0.7 {
+		t.Errorf("hierarchical cost %v not clearly below random mean %v", p.Cost(pl), stats.Mean(rc))
+	}
+	flatPl, err := (&GeoMapper{Kappa: 3, Seed: 2}).Map(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Cost(pl) > p.Cost(flatPl)*1.15 {
+		t.Errorf("hierarchical cost %v clearly above flat %v", p.Cost(pl), p.Cost(flatPl))
+	}
+}
+
+func TestHierarchicalHonorsConstraints(t *testing.T) {
+	p := clusteredProblem(36, 9, 7)
+	p.Constraint[0] = 8
+	p.Constraint[7] = 2
+	h := &HierarchicalGeoMapper{Kappa: 3, Seed: 3, LeafSites: 3}
+	pl, err := h.Map(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl[0] != 8 || pl[7] != 2 {
+		t.Errorf("pins violated: %v", pl)
+	}
+	if err := p.CheckPlacement(pl); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHierarchicalWithSiteSets(t *testing.T) {
+	p := clusteredProblem(24, 6, 11)
+	p.Allowed = make([][]int, 24)
+	for i := 0; i < 8; i++ {
+		p.Allowed[i] = []int{0, 1, 2}
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	h := &HierarchicalGeoMapper{Kappa: 3, Seed: 4, LeafSites: 3}
+	pl, err := h.Map(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CheckPlacement(pl); err != nil {
+		t.Fatalf("site sets violated: %v", err)
+	}
+}
+
+func TestHierarchicalArgValidation(t *testing.T) {
+	p := clusteredProblem(16, 4, 1)
+	if _, err := (&HierarchicalGeoMapper{Kappa: 1}).Map(p); err == nil {
+		t.Error("kappa=1 accepted")
+	}
+	if _, err := (&HierarchicalGeoMapper{Kappa: MaxKappa + 1}).Map(p); err == nil {
+		t.Error("kappa above MaxKappa accepted")
+	}
+	if _, err := (&HierarchicalGeoMapper{LeafSites: -1}).Map(p); err == nil {
+		t.Error("negative LeafSites accepted")
+	}
+	bad := clusteredProblem(16, 4, 1)
+	bad.Capacity[0] = 0
+	if _, err := (&HierarchicalGeoMapper{}).Map(bad); err == nil {
+		t.Error("invalid problem accepted")
+	}
+}
+
+func TestHierarchicalDeterminism(t *testing.T) {
+	p := clusteredProblem(40, 10, 13)
+	h := &HierarchicalGeoMapper{Kappa: 3, Seed: 9, LeafSites: 4}
+	a, err := h.Map(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.Map(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Error("same seed produced different hierarchical placements")
+	}
+}
+
+// Property: hierarchical placements are always feasible on random
+// many-site instances with pins.
+func TestQuickHierarchicalFeasible(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint8) bool {
+		n := int(nRaw%32) + 12
+		m := int(mRaw%8) + 6 // 6..13 sites
+		p := clusteredProblem(n, m, seed)
+		for i := 0; i < n/6; i++ {
+			p.Constraint[(i*11)%n] = i % m
+		}
+		if p.Validate() != nil {
+			return true
+		}
+		h := &HierarchicalGeoMapper{Kappa: 3, Seed: seed, LeafSites: 4}
+		pl, err := h.Map(p)
+		if err != nil {
+			return false
+		}
+		return p.CheckPlacement(pl) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

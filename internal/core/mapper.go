@@ -1,0 +1,62 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"geoprocmap/internal/mat"
+)
+
+// Mapper computes a feasible placement for a problem. Implementations
+// include the paper's Geo-distributed algorithm (this package) and the
+// compared approaches in internal/baselines.
+type Mapper interface {
+	// Name identifies the algorithm in experiment output.
+	Name() string
+	// Map returns a placement satisfying the problem's constraints.
+	Map(p *Problem) (Placement, error)
+}
+
+// RandomPlacement draws a uniformly random feasible placement: pinned
+// processes go to their constrained sites and the remaining processes fill
+// the remaining slots in random order. This is the paper's Baseline
+// ("random mapping algorithm") and the sampling primitive of its Monte
+// Carlo study. The problem must be valid.
+func RandomPlacement(p *Problem, rng *rand.Rand) (Placement, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("core: nil rng")
+	}
+	if p.HasSiteSets() {
+		return constrainedRandomPlacement(p, rng)
+	}
+	n, m := p.N(), p.M()
+	pl := mat.NewIntVec(n, Unconstrained)
+	avail := p.Capacity.Clone()
+	var free []int
+	for i, c := range p.Constraint {
+		if c != Unconstrained {
+			pl[i] = c
+			avail[c]--
+			if avail[c] < 0 {
+				return nil, fmt.Errorf("core: constraints overfill site %d", c)
+			}
+		} else {
+			free = append(free, i)
+		}
+	}
+	// Build the multiset of open slots and shuffle it.
+	var slots []int
+	for j := 0; j < m; j++ {
+		for r := 0; r < avail[j]; r++ {
+			slots = append(slots, j)
+		}
+	}
+	if len(slots) < len(free) {
+		return nil, fmt.Errorf("core: %d open slots for %d unpinned processes", len(slots), len(free))
+	}
+	rng.Shuffle(len(slots), func(a, b int) { slots[a], slots[b] = slots[b], slots[a] })
+	for idx, i := range free {
+		pl[i] = slots[idx]
+	}
+	return pl, nil
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"geoprocmap/internal/mat"
+	"geoprocmap/internal/stats"
+)
+
+func TestRandomPlacementFeasible(t *testing.T) {
+	p := twoSiteProblem()
+	p.Constraint[2] = 1
+	rng := stats.NewRand(1)
+	for i := 0; i < 100; i++ {
+		pl, err := RandomPlacement(p, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.CheckPlacement(pl); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		if pl[2] != 1 {
+			t.Fatal("constraint ignored")
+		}
+	}
+}
+
+func TestRandomPlacementCoversSolutionSpace(t *testing.T) {
+	p := twoSiteProblem()
+	rng := stats.NewRand(2)
+	seen := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		pl, err := RandomPlacement(p, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		key := ""
+		for _, s := range pl {
+			key += string(rune('0' + s))
+		}
+		seen[key] = true
+	}
+	// 4 processes over 2 sites with capacity 2 → C(4,2) = 6 placements.
+	if len(seen) != 6 {
+		t.Errorf("sampled %d distinct placements, want all 6", len(seen))
+	}
+}
+
+func TestRandomPlacementNilRNG(t *testing.T) {
+	if _, err := RandomPlacement(twoSiteProblem(), nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestRandomPlacementOverfullConstraints(t *testing.T) {
+	p := twoSiteProblem()
+	p.Constraint = mat.IntVec{0, 0, 0, Unconstrained} // capacity of site 0 is 2
+	if _, err := RandomPlacement(p, stats.NewRand(1)); err == nil {
+		t.Error("overfull constraints accepted")
+	}
+}
+
+// Property: RandomPlacement output is always feasible for valid problems.
+func TestQuickRandomPlacementFeasible(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint8) bool {
+		n := int(nRaw%20) + 2
+		m := int(mRaw%5) + 1
+		p := clusteredProblem(n, m, seed)
+		pl, err := RandomPlacement(p, stats.NewRand(seed))
+		if err != nil {
+			return false
+		}
+		return p.CheckPlacement(pl) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"geoprocmap/internal/stats"
+)
+
+func TestProblemJSONRoundTrip(t *testing.T) {
+	p := clusteredProblem(16, 3, 5)
+	p.Constraint[3] = 2
+	p.Allowed = make([][]int, 16)
+	p.Allowed[0] = []int{0, 1}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != p.N() || got.M() != p.M() {
+		t.Fatalf("dimensions changed: %d×%d vs %d×%d", got.N(), got.M(), p.N(), p.M())
+	}
+	if !got.LT.Equal(p.LT, 0) || !got.BT.Equal(p.BT, 0) {
+		t.Error("network matrices changed")
+	}
+	if !got.Constraint.Equal(p.Constraint) {
+		t.Error("constraints changed")
+	}
+	if len(got.Allowed[0]) != 2 {
+		t.Error("allowed sets changed")
+	}
+	// Totals accumulate in a different edge order after the round trip, so
+	// compare within floating-point slack; individual edges are exact.
+	if math.Abs(got.Comm.TotalVolume()-p.Comm.TotalVolume()) > 1e-6 ||
+		math.Abs(got.Comm.TotalMsgs()-p.Comm.TotalMsgs()) > 1e-9 {
+		t.Error("communication pattern changed")
+	}
+	if got.Comm.Volume(0, 1) != p.Comm.Volume(0, 1) || got.Comm.Msgs(0, 1) != p.Comm.Msgs(0, 1) {
+		t.Error("edge (0,1) changed")
+	}
+	// Costs agree on an arbitrary placement.
+	pl := Placement{0, 1, 2, 2, 0, 1, 2, 0, 1, 2, 0, 1, 2, 0, 1, 0}
+	if a, b := p.Cost(pl), got.Cost(pl); a != b {
+		t.Errorf("cost changed across round trip: %v vs %v", a, b)
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"{",
+		`{"n":0,"m":2}`,
+		`{"n":2,"m":1,"edges":[{"src":0,"dst":5,"volume":1,"msgs":1}],"lt":[[1]],"bt":[[1]],"pc":[{}],"capacity":[2],"constraint":[-1,-1]}`,
+		`{"n":2,"m":1,"edges":[{"src":0,"dst":1,"volume":-1,"msgs":1}],"lt":[[1]],"bt":[[1]],"pc":[{}],"capacity":[2],"constraint":[-1,-1]}`,
+		`{"n":2,"m":1,"edges":[],"lt":[[1],[2]],"bt":[[1]],"pc":[{}],"capacity":[2],"constraint":[-1,-1]}`,
+		// Valid JSON but invalid problem (capacity too small).
+		`{"n":2,"m":1,"edges":[],"lt":[[1]],"bt":[[1]],"pc":[{}],"capacity":[1],"constraint":[-1,-1]}`,
+	}
+	for i, c := range cases {
+		if _, err := ReadJSON(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestPlacementJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	pl := Placement{0, 1, 2, 1}
+	if err := WritePlacementJSON(&buf, "Geo-distributed", 12.5, pl); err != nil {
+		t.Fatal(err)
+	}
+	algo, cost, got, err := ReadPlacementJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if algo != "Geo-distributed" || cost != 12.5 || !got.Equal(pl) {
+		t.Errorf("round trip mismatch: %s %v %v", algo, cost, got)
+	}
+	if _, _, _, err := ReadPlacementJSON(strings.NewReader("nope")); err == nil {
+		t.Error("bad placement JSON accepted")
+	}
+}
+
+// Property: serialization round-trips random problems with identical costs.
+func TestQuickProblemJSONRoundTrip(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint8) bool {
+		n := int(nRaw%20) + 4
+		m := int(mRaw%3) + 2
+		p := clusteredProblem(n, m, seed)
+		var buf bytes.Buffer
+		if err := p.WriteJSON(&buf); err != nil {
+			return false
+		}
+		got, err := ReadJSON(&buf)
+		if err != nil {
+			return false
+		}
+		pl, err := RandomPlacement(p, stats.NewRand(seed))
+		if err != nil {
+			return false
+		}
+		return p.Cost(pl) == got.Cost(pl)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

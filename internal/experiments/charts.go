@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"geoprocmap/internal/viz"
+)
+
+// ChartFor converts a figure report into a renderable chart where the
+// artifact is a curve in the paper (Figures 7, 8 and 10). It returns
+// ok=false for table-shaped artifacts.
+func ChartFor(rep *Report) (*viz.Chart, bool, error) {
+	switch rep.ID {
+	case "fig7":
+		return chartFig7(rep)
+	case "fig8":
+		return chartFig8(rep)
+	case "fig10":
+		return chartFig10(rep)
+	default:
+		return nil, false, nil
+	}
+}
+
+func parseCellPct(s string) (float64, error) {
+	return strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+}
+
+// chartFig7 renders improvement-vs-machines, one series per app×mapper.
+func chartFig7(rep *Report) (*viz.Chart, bool, error) {
+	series := map[string]*viz.Series{}
+	var order []string
+	for _, row := range rep.Rows {
+		if len(row) != 4 {
+			return nil, false, fmt.Errorf("experiments: fig7 row has %d cells", len(row))
+		}
+		machines, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			return nil, false, err
+		}
+		for i, mapper := range []string{"Greedy", "Geo"} {
+			key := row[0] + " / " + mapper
+			s := series[key]
+			if s == nil {
+				s = &viz.Series{Name: key}
+				series[key] = s
+				order = append(order, key)
+			}
+			v, err := parseCellPct(row[2+i])
+			if err != nil {
+				return nil, false, err
+			}
+			s.X = append(s.X, machines)
+			s.Y = append(s.Y, v)
+		}
+	}
+	c := &viz.Chart{
+		Title:  "Figure 7: communication improvement vs scale",
+		XLabel: "machines (log)",
+		YLabel: "improvement over Baseline (%)",
+		LogX:   true,
+	}
+	for _, key := range order {
+		c.Series = append(c.Series, *series[key])
+	}
+	return c, true, nil
+}
+
+// chartFig8 renders improvement-over-Greedy vs constraint ratio, one
+// series per app.
+func chartFig8(rep *Report) (*viz.Chart, bool, error) {
+	ratios := []float64{20, 40, 60, 80, 100}
+	c := &viz.Chart{
+		Title:  "Figure 8: Geo improvement over Greedy vs constraint ratio",
+		XLabel: "constraint ratio (%)",
+		YLabel: "improvement (%)",
+	}
+	for _, row := range rep.Rows {
+		if len(row) != len(ratios)+1 {
+			return nil, false, fmt.Errorf("experiments: fig8 row has %d cells", len(row))
+		}
+		s := viz.Series{Name: row[0]}
+		for i, r := range ratios {
+			v, err := parseCellPct(row[1+i])
+			if err != nil {
+				return nil, false, err
+			}
+			s.X = append(s.X, r)
+			s.Y = append(s.Y, v)
+		}
+		c.Series = append(c.Series, s)
+	}
+	return c, true, nil
+}
+
+// chartFig10 renders the best-of-K decay per app (log K), with the Geo
+// cost as a flat reference line.
+func chartFig10(rep *Report) (*viz.Chart, bool, error) {
+	// Header: App, K=1, …, K=10^k, Geo-distributed.
+	var ks []float64
+	for _, h := range rep.Header[1 : len(rep.Header)-1] {
+		v, err := strconv.ParseFloat(strings.TrimPrefix(h, "K="), 64)
+		if err != nil {
+			return nil, false, err
+		}
+		ks = append(ks, v)
+	}
+	c := &viz.Chart{
+		Title:  "Figure 10: best-of-K random mapping vs K",
+		XLabel: "K (log)",
+		YLabel: "normalized minimal cost",
+		LogX:   true,
+	}
+	for _, row := range rep.Rows {
+		if len(row) != len(ks)+2 {
+			return nil, false, fmt.Errorf("experiments: fig10 row has %d cells", len(row))
+		}
+		s := viz.Series{Name: row[0] + " (MC)"}
+		for i, k := range ks {
+			v, err := strconv.ParseFloat(row[1+i], 64)
+			if err != nil {
+				return nil, false, err
+			}
+			s.X = append(s.X, k)
+			s.Y = append(s.Y, v)
+		}
+		c.Series = append(c.Series, s)
+		geo, err := strconv.ParseFloat(row[len(row)-1], 64)
+		if err != nil {
+			return nil, false, err
+		}
+		c.Series = append(c.Series, viz.Series{
+			Name: row[0] + " (Geo)",
+			X:    []float64{ks[0], ks[len(ks)-1]},
+			Y:    []float64{geo, geo},
+		})
+	}
+	return c, true, nil
+}

@@ -1,0 +1,214 @@
+// Package flow implements Dinic's maximum-flow algorithm on small graphs.
+//
+// It is the feasibility substrate for the multi-site data-movement
+// constraints extension (the paper's stated future work: "we only consider
+// the data movement constraint on individual sites and leave the extension
+// to multiple site constraints"). Deciding whether every process can be
+// placed on one of its allowed sites without exceeding site capacities is
+// a bipartite b-matching problem, solved here as max-flow from a source
+// through processes and sites to a sink.
+package flow
+
+import "fmt"
+
+// Network is a directed flow network under construction.
+type Network struct {
+	n     int
+	heads []int
+	edges []edge
+}
+
+type edge struct {
+	to, next int
+	capacity int64
+}
+
+// NewNetwork returns a network with n nodes (0 … n-1) and no edges.
+func NewNetwork(n int) *Network {
+	if n <= 0 {
+		panic(fmt.Sprintf("flow: invalid node count %d", n))
+	}
+	heads := make([]int, n)
+	for i := range heads {
+		heads[i] = -1
+	}
+	return &Network{n: n, heads: heads}
+}
+
+// N returns the number of nodes.
+func (g *Network) N() int { return g.n }
+
+// AddEdge adds a directed edge from u to v with the given capacity (and
+// its residual reverse edge). Capacity must be non-negative.
+func (g *Network) AddEdge(u, v int, capacity int64) {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		panic(fmt.Sprintf("flow: edge (%d,%d) out of range for %d nodes", u, v, g.n))
+	}
+	if capacity < 0 {
+		panic(fmt.Sprintf("flow: negative capacity %d", capacity))
+	}
+	g.edges = append(g.edges, edge{to: v, next: g.heads[u], capacity: capacity})
+	g.heads[u] = len(g.edges) - 1
+	g.edges = append(g.edges, edge{to: u, next: g.heads[v], capacity: 0})
+	g.heads[v] = len(g.edges) - 1
+}
+
+// MaxFlow computes the maximum flow from s to t with Dinic's algorithm.
+// The network's residual capacities are consumed; call Flow afterwards to
+// inspect per-edge flow.
+func (g *Network) MaxFlow(s, t int) int64 {
+	if s < 0 || s >= g.n || t < 0 || t >= g.n {
+		panic(fmt.Sprintf("flow: source/sink (%d,%d) out of range", s, t))
+	}
+	if s == t {
+		panic("flow: source equals sink")
+	}
+	var total int64
+	level := make([]int, g.n)
+	iter := make([]int, g.n)
+	queue := make([]int, 0, g.n)
+	for {
+		// BFS level graph.
+		for i := range level {
+			level[i] = -1
+		}
+		level[s] = 0
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for e := g.heads[u]; e != -1; e = g.edges[e].next {
+				if g.edges[e].capacity > 0 && level[g.edges[e].to] == -1 {
+					level[g.edges[e].to] = level[u] + 1
+					queue = append(queue, g.edges[e].to)
+				}
+			}
+		}
+		if level[t] == -1 {
+			return total
+		}
+		copy(iter, g.heads)
+		for {
+			f := g.augment(s, t, int64(1)<<62, level, iter)
+			if f == 0 {
+				break
+			}
+			total += f
+		}
+	}
+}
+
+func (g *Network) augment(u, t int, limit int64, level, iter []int) int64 {
+	if u == t {
+		return limit
+	}
+	for ; iter[u] != -1; iter[u] = g.edges[iter[u]].next {
+		e := iter[u]
+		v := g.edges[e].to
+		if g.edges[e].capacity <= 0 || level[v] != level[u]+1 {
+			continue
+		}
+		pushed := limit
+		if g.edges[e].capacity < pushed {
+			pushed = g.edges[e].capacity
+		}
+		f := g.augment(v, t, pushed, level, iter)
+		if f > 0 {
+			g.edges[e].capacity -= f
+			g.edges[e^1].capacity += f
+			return f
+		}
+	}
+	return 0
+}
+
+// Flow returns the flow pushed over the i-th added forward edge (in
+// AddEdge call order).
+func (g *Network) Flow(i int) int64 {
+	idx := 2 * i
+	if idx < 0 || idx+1 >= len(g.edges) {
+		panic(fmt.Sprintf("flow: edge index %d out of range", i))
+	}
+	return g.edges[idx^1].capacity
+}
+
+// AssignmentProblem is a bipartite placement feasibility/construction
+// helper: items (processes) must each be assigned to exactly one of their
+// allowed bins (sites), and bin j holds at most Capacity[j] items. An
+// empty allowed list means every bin is allowed.
+type AssignmentProblem struct {
+	Items    int
+	Capacity []int
+	// Allowed[i] lists the bins item i may use; nil/empty = all bins.
+	Allowed [][]int
+}
+
+// Solve returns an assignment (item → bin) or an error when infeasible.
+// Pinned items are expressed as singleton Allowed lists. The assignment
+// honors preferences when given: prefer[i], if non-negative and allowed
+// with remaining capacity, is tried first via the flow's edge order.
+func (a *AssignmentProblem) Solve() ([]int, error) {
+	bins := len(a.Capacity)
+	if a.Items < 0 || bins == 0 {
+		return nil, fmt.Errorf("flow: %d items over %d bins", a.Items, bins)
+	}
+	if len(a.Allowed) != a.Items {
+		return nil, fmt.Errorf("flow: allowed lists %d, want %d", len(a.Allowed), a.Items)
+	}
+	// Nodes: 0 = source, 1..Items = items, Items+1..Items+bins = bins,
+	// last = sink.
+	src := 0
+	sink := a.Items + bins + 1
+	g := NewNetwork(sink + 1)
+	type itemEdge struct{ item, bin, edgeIdx int }
+	var itemEdges []itemEdge
+	edgeCount := 0
+	for i := 0; i < a.Items; i++ {
+		g.AddEdge(src, 1+i, 1)
+		edgeCount++
+	}
+	for i := 0; i < a.Items; i++ {
+		allowed := a.Allowed[i]
+		if len(allowed) == 0 {
+			for b := 0; b < bins; b++ {
+				g.AddEdge(1+i, 1+a.Items+b, 1)
+				itemEdges = append(itemEdges, itemEdge{i, b, edgeCount})
+				edgeCount++
+			}
+			continue
+		}
+		for _, b := range allowed {
+			if b < 0 || b >= bins {
+				return nil, fmt.Errorf("flow: item %d allows bin %d out of range [0,%d)", i, b, bins)
+			}
+			g.AddEdge(1+i, 1+a.Items+b, 1)
+			itemEdges = append(itemEdges, itemEdge{i, b, edgeCount})
+			edgeCount++
+		}
+	}
+	for b := 0; b < bins; b++ {
+		if a.Capacity[b] < 0 {
+			return nil, fmt.Errorf("flow: bin %d has negative capacity", b)
+		}
+		g.AddEdge(1+a.Items+b, sink, int64(a.Capacity[b]))
+		edgeCount++
+	}
+	if got := g.MaxFlow(src, sink); got != int64(a.Items) {
+		return nil, fmt.Errorf("flow: only %d of %d items placeable under the allowed-site constraints", got, a.Items)
+	}
+	out := make([]int, a.Items)
+	for i := range out {
+		out[i] = -1
+	}
+	for _, ie := range itemEdges {
+		if g.Flow(ie.edgeIdx) > 0 {
+			out[ie.item] = ie.bin
+		}
+	}
+	for i, b := range out {
+		if b == -1 {
+			return nil, fmt.Errorf("flow: internal error: item %d unassigned after full flow", i)
+		}
+	}
+	return out, nil
+}

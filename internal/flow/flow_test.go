@@ -1,0 +1,189 @@
+package flow
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMaxFlowTextbook(t *testing.T) {
+	// Classic 6-node example with max flow 23.
+	g := NewNetwork(6)
+	g.AddEdge(0, 1, 16)
+	g.AddEdge(0, 2, 13)
+	g.AddEdge(1, 2, 10)
+	g.AddEdge(2, 1, 4)
+	g.AddEdge(1, 3, 12)
+	g.AddEdge(3, 2, 9)
+	g.AddEdge(2, 4, 14)
+	g.AddEdge(4, 3, 7)
+	g.AddEdge(3, 5, 20)
+	g.AddEdge(4, 5, 4)
+	if got := g.MaxFlow(0, 5); got != 23 {
+		t.Errorf("max flow = %d, want 23", got)
+	}
+}
+
+func TestMaxFlowDisconnected(t *testing.T) {
+	g := NewNetwork(4)
+	g.AddEdge(0, 1, 5)
+	// No path to 3.
+	if got := g.MaxFlow(0, 3); got != 0 {
+		t.Errorf("max flow = %d, want 0", got)
+	}
+}
+
+func TestFlowPerEdge(t *testing.T) {
+	g := NewNetwork(3)
+	g.AddEdge(0, 1, 7) // edge 0
+	g.AddEdge(1, 2, 4) // edge 1
+	if got := g.MaxFlow(0, 2); got != 4 {
+		t.Fatalf("max flow = %d, want 4", got)
+	}
+	if g.Flow(0) != 4 || g.Flow(1) != 4 {
+		t.Errorf("per-edge flows = %d/%d, want 4/4", g.Flow(0), g.Flow(1))
+	}
+}
+
+func TestNetworkPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewNetwork(0) },
+		func() { NewNetwork(2).AddEdge(0, 5, 1) },
+		func() { NewNetwork(2).AddEdge(0, 1, -1) },
+		func() { NewNetwork(2).MaxFlow(0, 0) },
+		func() { NewNetwork(2).MaxFlow(-1, 1) },
+		func() { NewNetwork(2).Flow(0) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestAssignmentFeasible(t *testing.T) {
+	a := &AssignmentProblem{
+		Items:    4,
+		Capacity: []int{2, 2},
+		Allowed:  [][]int{{0}, {0}, nil, nil},
+	}
+	got, err := a.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 || got[1] != 0 {
+		t.Errorf("pinned items misplaced: %v", got)
+	}
+	counts := [2]int{}
+	for _, b := range got {
+		counts[b]++
+	}
+	if counts[0] > 2 || counts[1] > 2 {
+		t.Errorf("capacity violated: %v", got)
+	}
+}
+
+func TestAssignmentInfeasible(t *testing.T) {
+	a := &AssignmentProblem{
+		Items:    3,
+		Capacity: []int{2, 5},
+		Allowed:  [][]int{{0}, {0}, {0}}, // three items pinned to capacity-2 bin
+	}
+	if _, err := a.Solve(); err == nil {
+		t.Error("infeasible assignment accepted")
+	}
+}
+
+func TestAssignmentHallViolation(t *testing.T) {
+	// Items 0 and 1 both only allow bin 0 (cap 1); bin 1 is free but
+	// unusable: Hall's condition fails even though total capacity is fine.
+	a := &AssignmentProblem{
+		Items:    2,
+		Capacity: []int{1, 1},
+		Allowed:  [][]int{{0}, {0}},
+	}
+	if _, err := a.Solve(); err == nil {
+		t.Error("Hall violation accepted")
+	}
+}
+
+func TestAssignmentErrors(t *testing.T) {
+	if _, err := (&AssignmentProblem{Items: 1, Capacity: nil, Allowed: [][]int{nil}}).Solve(); err == nil {
+		t.Error("no bins accepted")
+	}
+	if _, err := (&AssignmentProblem{Items: 2, Capacity: []int{5}, Allowed: [][]int{nil}}).Solve(); err == nil {
+		t.Error("mismatched Allowed length accepted")
+	}
+	if _, err := (&AssignmentProblem{Items: 1, Capacity: []int{1}, Allowed: [][]int{{7}}}).Solve(); err == nil {
+		t.Error("out-of-range allowed bin accepted")
+	}
+	if _, err := (&AssignmentProblem{Items: 1, Capacity: []int{-1}, Allowed: [][]int{nil}}).Solve(); err == nil {
+		t.Error("negative capacity accepted")
+	}
+}
+
+// Property: when the solver returns an assignment it is always valid
+// (allowed bins, capacities respected, every item placed), and when all
+// items are unrestricted with sufficient capacity it always succeeds.
+func TestQuickAssignmentValid(t *testing.T) {
+	f := func(itemsRaw, binsRaw uint8, masks []uint8) bool {
+		items := int(itemsRaw%10) + 1
+		bins := int(binsRaw%4) + 1
+		capacity := make([]int, bins)
+		per := (items + bins - 1) / bins
+		for b := range capacity {
+			capacity[b] = per + 1
+		}
+		allowed := make([][]int, items)
+		for i := 0; i < items && i < len(masks); i++ {
+			for b := 0; b < bins; b++ {
+				if masks[i]&(1<<uint(b)) != 0 {
+					allowed[i] = append(allowed[i], b)
+				}
+			}
+		}
+		a := &AssignmentProblem{Items: items, Capacity: capacity, Allowed: allowed}
+		got, err := a.Solve()
+		if err != nil {
+			// Infeasibility is only acceptable when some item has a
+			// non-empty allowed set (empty = unrestricted, always OK here).
+			for _, al := range allowed {
+				if len(al) > 0 {
+					return true
+				}
+			}
+			return false
+		}
+		counts := make([]int, bins)
+		for i, b := range got {
+			if b < 0 || b >= bins {
+				return false
+			}
+			counts[b]++
+			if len(allowed[i]) > 0 {
+				ok := false
+				for _, al := range allowed[i] {
+					if al == b {
+						ok = true
+					}
+				}
+				if !ok {
+					return false
+				}
+			}
+		}
+		for b := range counts {
+			if counts[b] > capacity[b] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,152 @@
+// Package kmeans implements K-means clustering with Forgy initialization.
+//
+// The paper uses K-means twice: the grouping optimization clusters
+// geo-distributed sites by their physical coordinates before the group-order
+// search (Section 4.2, "we group the sites by utilizing the K-means
+// clustering method … We select Forgy method to determine the κ initial
+// means"), and parallel K-means is one of the two machine-learning
+// evaluation workloads. This package provides the shared algorithm over
+// d-dimensional points.
+package kmeans
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Point is a d-dimensional coordinate.
+type Point []float64
+
+// Result holds the outcome of a clustering run.
+type Result struct {
+	// Assignment[i] is the cluster index of input point i.
+	Assignment []int
+	// Centroids are the final cluster means. len(Centroids) == k.
+	Centroids []Point
+	// Iterations is the number of Lloyd iterations performed.
+	Iterations int
+	// Inertia is the sum of squared distances from each point to its
+	// centroid (the K-means objective).
+	Inertia float64
+}
+
+// SqDist returns the squared Euclidean distance between two points of the
+// same dimension.
+func SqDist(a, b Point) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("kmeans: dimension mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Cluster partitions points into k clusters using Lloyd's algorithm with
+// Forgy initialization (k distinct input points chosen uniformly at random
+// as initial centroids). It runs until assignments stabilize or maxIter
+// iterations, whichever comes first. rng must be non-nil.
+//
+// k must satisfy 1 <= k <= len(points), all points must share one
+// dimension, and maxIter must be positive.
+func Cluster(points []Point, k int, maxIter int, rng *rand.Rand) (*Result, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("kmeans: no points")
+	}
+	if k < 1 || k > len(points) {
+		return nil, fmt.Errorf("kmeans: k=%d out of range [1,%d]", k, len(points))
+	}
+	if maxIter <= 0 {
+		return nil, fmt.Errorf("kmeans: maxIter=%d must be positive", maxIter)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("kmeans: nil rng")
+	}
+	dim := len(points[0])
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("kmeans: point %d has dimension %d, want %d", i, len(p), dim)
+		}
+	}
+
+	// Forgy initialization: choose k distinct points as initial means.
+	perm := rng.Perm(len(points))
+	centroids := make([]Point, k)
+	for c := 0; c < k; c++ {
+		centroids[c] = append(Point(nil), points[perm[c]]...)
+	}
+
+	assign := make([]int, len(points))
+	for i := range assign {
+		assign[i] = -1
+	}
+	iterations := 0
+	for iter := 0; iter < maxIter; iter++ {
+		iterations = iter + 1
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c, cen := range centroids {
+				if d := SqDist(p, cen); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		// Recompute means. Empty clusters keep their previous centroid
+		// (a standard Forgy-variant convention).
+		sums := make([]Point, k)
+		counts := make([]int, k)
+		for c := range sums {
+			sums[c] = make(Point, dim)
+		}
+		for i, p := range points {
+			c := assign[i]
+			counts[c]++
+			for d := 0; d < dim; d++ {
+				sums[c][d] += p[d]
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				continue
+			}
+			for d := 0; d < dim; d++ {
+				centroids[c][d] = sums[c][d] / float64(counts[c])
+			}
+		}
+	}
+
+	var inertia float64
+	for i, p := range points {
+		inertia += SqDist(p, centroids[assign[i]])
+	}
+	return &Result{
+		Assignment: assign,
+		Centroids:  centroids,
+		Iterations: iterations,
+		Inertia:    inertia,
+	}, nil
+}
+
+// Groups converts an assignment vector into k slices of point indices.
+// Clusters may be empty.
+func Groups(assignment []int, k int) [][]int {
+	out := make([][]int, k)
+	for i, c := range assignment {
+		if c < 0 || c >= k {
+			panic(fmt.Sprintf("kmeans: assignment[%d]=%d out of range [0,%d)", i, c, k))
+		}
+		out[c] = append(out[c], i)
+	}
+	return out
+}

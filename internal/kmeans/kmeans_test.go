@@ -1,0 +1,185 @@
+package kmeans
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"geoprocmap/internal/stats"
+)
+
+func TestSqDist(t *testing.T) {
+	if got := SqDist(Point{0, 0}, Point{3, 4}); got != 25 {
+		t.Errorf("SqDist = %v, want 25", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("dimension mismatch did not panic")
+		}
+	}()
+	SqDist(Point{1}, Point{1, 2})
+}
+
+func TestClusterSeparatedBlobs(t *testing.T) {
+	rng := stats.NewRand(1)
+	var points []Point
+	centers := []Point{{0, 0}, {100, 0}, {0, 100}}
+	for _, c := range centers {
+		for i := 0; i < 20; i++ {
+			points = append(points, Point{c[0] + rng.NormFloat64(), c[1] + rng.NormFloat64()})
+		}
+	}
+	// Forgy initialization is sensitive to the starting draw (two initial
+	// centroids can land in the same blob), so check that a clear majority
+	// of seeds recovers the exact blob structure.
+	perfect := 0
+	for seed := int64(0); seed < 10; seed++ {
+		res, err := Cluster(points, 3, 100, stats.NewRand(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok := true
+		seen := map[int]bool{}
+		for b := 0; b < 3 && ok; b++ {
+			c := res.Assignment[b*20]
+			if seen[c] {
+				ok = false
+				break
+			}
+			seen[c] = true
+			for i := 1; i < 20; i++ {
+				if res.Assignment[b*20+i] != c {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			if res.Inertia > 500 {
+				t.Errorf("seed %d: inertia %v too high for separated blobs", seed, res.Inertia)
+			}
+			perfect++
+		}
+	}
+	if perfect < 6 {
+		t.Errorf("only %d/10 seeds recovered the blob structure, want ≥6", perfect)
+	}
+}
+
+func TestClusterKEqualsN(t *testing.T) {
+	points := []Point{{0}, {10}, {20}}
+	res, err := Cluster(points, 3, 50, stats.NewRand(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inertia != 0 {
+		t.Errorf("k=n inertia = %v, want 0", res.Inertia)
+	}
+	seen := map[int]bool{}
+	for _, c := range res.Assignment {
+		if seen[c] {
+			t.Error("k=n should give singleton clusters")
+		}
+		seen[c] = true
+	}
+}
+
+func TestClusterKOne(t *testing.T) {
+	points := []Point{{0, 0}, {2, 0}, {4, 0}}
+	res, err := Cluster(points, 1, 50, stats.NewRand(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Centroids[0][0]-2) > 1e-9 {
+		t.Errorf("centroid = %v, want mean (2,0)", res.Centroids[0])
+	}
+}
+
+func TestClusterErrors(t *testing.T) {
+	rng := stats.NewRand(1)
+	cases := []struct {
+		name string
+		fn   func() error
+	}{
+		{"empty", func() error { _, err := Cluster(nil, 1, 10, rng); return err }},
+		{"k0", func() error { _, err := Cluster([]Point{{1}}, 0, 10, rng); return err }},
+		{"k>n", func() error { _, err := Cluster([]Point{{1}}, 2, 10, rng); return err }},
+		{"maxIter", func() error { _, err := Cluster([]Point{{1}}, 1, 0, rng); return err }},
+		{"nilRNG", func() error { _, err := Cluster([]Point{{1}}, 1, 10, nil); return err }},
+		{"ragged", func() error { _, err := Cluster([]Point{{1}, {1, 2}}, 1, 10, rng); return err }},
+	}
+	for _, tc := range cases {
+		if tc.fn() == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestGroups(t *testing.T) {
+	g := Groups([]int{0, 2, 0, 1}, 3)
+	if len(g[0]) != 2 || g[0][0] != 0 || g[0][1] != 2 {
+		t.Errorf("group 0 = %v", g[0])
+	}
+	if len(g[1]) != 1 || len(g[2]) != 1 {
+		t.Errorf("groups = %v", g)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range assignment did not panic")
+		}
+	}()
+	Groups([]int{5}, 3)
+}
+
+func TestDeterminism(t *testing.T) {
+	points := []Point{{1, 1}, {2, 2}, {50, 50}, {51, 49}, {-3, 8}}
+	a, err := Cluster(points, 2, 100, stats.NewRand(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Cluster(points, 2, 100, stats.NewRand(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assignment {
+		if a.Assignment[i] != b.Assignment[i] {
+			t.Fatal("same seed produced different clusterings")
+		}
+	}
+}
+
+// Property: every point is assigned to its nearest final centroid, and the
+// union of Groups is exactly the input index set.
+func TestQuickNearestCentroidInvariant(t *testing.T) {
+	f := func(seed int64, rawPts []uint16, kRaw uint8) bool {
+		if len(rawPts) < 2 {
+			return true
+		}
+		points := make([]Point, len(rawPts))
+		for i, r := range rawPts {
+			points[i] = Point{float64(r % 251), float64((r / 251) % 251)}
+		}
+		k := int(kRaw)%len(points) + 1
+		res, err := Cluster(points, k, 200, stats.NewRand(seed))
+		if err != nil {
+			return false
+		}
+		for i, p := range points {
+			mine := SqDist(p, res.Centroids[res.Assignment[i]])
+			for _, c := range res.Centroids {
+				if SqDist(p, c) < mine-1e-9 {
+					return false
+				}
+			}
+		}
+		groups := Groups(res.Assignment, k)
+		total := 0
+		for _, g := range groups {
+			total += len(g)
+		}
+		return total == len(points)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

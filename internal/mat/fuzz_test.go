@@ -1,0 +1,44 @@
+package mat
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzRead drives the matrix text parser with arbitrary inputs: it must
+// never panic, and whatever it accepts must re-serialize to an equal
+// matrix.
+func FuzzRead(f *testing.F) {
+	f.Add("2 2\n1 2\n3 4\n")
+	f.Add("1 1\n-5.5\n")
+	f.Add("0 0\n")
+	f.Add("2 2\n1 2\n3\n")
+	f.Add("x y\n")
+	f.Add("1 3\n1e308 -1e308 0\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		m, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf strings.Builder
+		if _, err := m.WriteTo(&buf); err != nil {
+			t.Fatalf("accepted matrix failed to serialize: %v", err)
+		}
+		again, err := Read(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("serialized form rejected: %v", err)
+		}
+		// NaN never round-trips as Equal; skip those inputs.
+		hasNaN := false
+		for i := 0; i < m.Rows(); i++ {
+			for j := 0; j < m.Cols(); j++ {
+				if m.At(i, j) != m.At(i, j) {
+					hasNaN = true
+				}
+			}
+		}
+		if !hasNaN && !m.Equal(again, 0) {
+			t.Fatalf("round trip changed matrix:\n%v\nvs\n%v", m, again)
+		}
+	})
+}

@@ -1,0 +1,384 @@
+package mpi
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"geoprocmap/internal/geo"
+	"geoprocmap/internal/mat"
+	"geoprocmap/internal/netmodel"
+)
+
+// testWorld: 2 sites × 2 nodes, intra 100 MB/s @1 ms, cross 10 MB/s
+// @100 ms, exact (no jitter). Ranks 0,1 on site 0; ranks 2,3 on site 1.
+func testWorld(t *testing.T) *World {
+	t.Helper()
+	east := geo.MustRegion(geo.EC2Regions, "us-east-1")
+	sg := geo.MustRegion(geo.EC2Regions, "ap-southeast-1")
+	cloud := &netmodel.Cloud{
+		Provider: netmodel.AmazonEC2,
+		Instance: netmodel.InstanceType{Name: "test", IntraBWMBps: 100, CrossBWScale: 1},
+		Sites: []netmodel.Site{
+			{Region: east, Nodes: 2},
+			{Region: sg, Nodes: 2},
+		},
+		LT: mat.MustFrom([][]float64{{0.001, 0.1}, {0.1, 0.001}}),
+		BT: mat.MustFrom([][]float64{{100e6, 10e6}, {10e6, 100e6}}),
+	}
+	w, err := NewWorld(cloud, []int{0, 0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewWorldValidation(t *testing.T) {
+	w := testWorld(t)
+	cloud := w.cloud
+	cases := []struct {
+		name    string
+		mapping []int
+	}{
+		{"empty", nil},
+		{"range", []int{0, 5}},
+		{"negative", []int{-1}},
+		{"overload", []int{0, 0, 0}},
+	}
+	for _, tc := range cases {
+		if _, err := NewWorld(cloud, tc.mapping); err == nil {
+			t.Errorf("%s accepted", tc.name)
+		}
+	}
+	if _, err := NewWorld(nil, []int{0}); err == nil {
+		t.Error("nil cloud accepted")
+	}
+	if _, err := w.Run(nil); err == nil {
+		t.Error("nil program accepted")
+	}
+}
+
+func TestPingPongTiming(t *testing.T) {
+	w := testWorld(t)
+	res, err := w.Run(func(c *Comm) error {
+		switch c.Rank() {
+		case 0:
+			if err := c.Send(2, 10e6, 7); err != nil {
+				return err
+			}
+			return c.Recv(2, 8)
+		case 2:
+			if err := c.Recv(0, 7); err != nil {
+				return err
+			}
+			return c.Send(0, 10e6, 8)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each direction: 0.1 latency + 10e6/10e6 = 1.1 s; round trip 2.2.
+	if !almostEq(res.Elapsed, 2.2, 1e-9) {
+		t.Errorf("elapsed = %v, want 2.2", res.Elapsed)
+	}
+	if res.RankClocks[1] != 0 || res.RankClocks[3] != 0 {
+		t.Error("idle ranks should stay at time 0")
+	}
+	if res.Trace.Len() != 2 {
+		t.Errorf("trace has %d events, want 2", res.Trace.Len())
+	}
+}
+
+func TestComputeOverlap(t *testing.T) {
+	w := testWorld(t)
+	res, err := w.Run(func(c *Comm) error {
+		if err := c.Compute(float64(c.Rank())); err != nil {
+			return err
+		}
+		// Rendezvous: 0↔1 (intra): starts when the later one arrives (t=1),
+		// completes 1 + 0.001 + 1e6/100e6 = 1.011.
+		switch c.Rank() {
+		case 0:
+			return c.Send(1, 1e6, 0)
+		case 1:
+			return c.Recv(0, 0)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(res.RankClocks[0], 1.011, 1e-9) {
+		t.Errorf("rank 0 clock = %v, want 1.011", res.RankClocks[0])
+	}
+	if !almostEq(res.RankClocks[3], 3, 0) {
+		t.Errorf("rank 3 clock = %v, want 3 (compute only)", res.RankClocks[3])
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	w := testWorld(t)
+	_, err := w.Run(func(c *Comm) error {
+		// Everyone receives from the next rank; nobody ever sends.
+		return c.Recv((c.Rank()+1)%c.Size(), 0)
+	})
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("want deadlock error, got %v", err)
+	}
+}
+
+func TestRendezvousRingWithSendRecv(t *testing.T) {
+	w := testWorld(t)
+	res, err := w.Run(func(c *Comm) error {
+		return c.SendRecv((c.Rank()+1)%c.Size(), 1000, 3)
+	})
+	// SendRecv pairs (0,1),(1,2)... a full ring exchange isn't what
+	// SendRecv does — partner relations must be symmetric. Rank 0's
+	// partner is 1 but rank 1's partner is 2: deadlock expected.
+	if err == nil {
+		t.Fatalf("asymmetric partners should deadlock, got elapsed %v", res.Elapsed)
+	}
+}
+
+func TestSendRecvPairs(t *testing.T) {
+	w := testWorld(t)
+	res, err := w.Run(func(c *Comm) error {
+		partner := c.Rank() ^ 1 // (0,1) and (2,3), both intra-site
+		return c.SendRecv(partner, 2e6, 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two sequential intra transfers: 2 × (0.001 + 2e6/100e6) = 0.042.
+	if !almostEq(res.Elapsed, 0.042, 1e-9) {
+		t.Errorf("elapsed = %v, want 0.042", res.Elapsed)
+	}
+}
+
+func TestProgramErrorPropagates(t *testing.T) {
+	w := testWorld(t)
+	_, err := w.Run(func(c *Comm) error {
+		if c.Rank() == 3 {
+			return fmt.Errorf("boom")
+		}
+		// Others park on receives that never complete.
+		return c.Recv(AnySource, AnyTag)
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("want program error, got %v", err)
+	}
+}
+
+func TestOpValidation(t *testing.T) {
+	w := testWorld(t)
+	progs := map[string]Program{
+		"send self":     func(c *Comm) error { return c.Send(c.Rank(), 1, 0) },
+		"send range":    func(c *Comm) error { return c.Send(99, 1, 0) },
+		"send negative": func(c *Comm) error { return c.Send((c.Rank()+1)%4, -1, 0) },
+		"send bad tag":  func(c *Comm) error { return c.Send((c.Rank()+1)%4, 1, -2) },
+		"recv self":     func(c *Comm) error { return c.Recv(c.Rank(), 0) },
+		"recv range":    func(c *Comm) error { return c.Recv(42, 0) },
+		"compute neg":   func(c *Comm) error { return c.Compute(-1) },
+	}
+	for name, p := range progs {
+		if _, err := w.Run(p); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestWildcardRecv(t *testing.T) {
+	w := testWorld(t)
+	res, err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			// Two receives from anyone with any tag.
+			if err := c.Recv(AnySource, AnyTag); err != nil {
+				return err
+			}
+			return c.Recv(AnySource, AnyTag)
+		}
+		if c.Rank() == 1 || c.Rank() == 2 {
+			return c.Send(0, 1000, 10+c.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace.Len() != 2 {
+		t.Errorf("trace has %d events", res.Trace.Len())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	w := testWorld(t)
+	prog := func(c *Comm) error {
+		if err := c.Compute(0.01 * float64(c.Rank())); err != nil {
+			return err
+		}
+		if err := c.Allreduce(64*1024, 0); err != nil {
+			return err
+		}
+		return c.Barrier(2)
+	}
+	a, err := w.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		b, err := w.Run(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Elapsed != a.Elapsed {
+			t.Fatalf("run %d: elapsed %v vs %v — nondeterministic", i, b.Elapsed, a.Elapsed)
+		}
+		if b.Trace.Len() != a.Trace.Len() {
+			t.Fatalf("run %d: trace lengths differ", i)
+		}
+		for e := range a.Trace.Events() {
+			if a.Trace.Events()[e] != b.Trace.Events()[e] {
+				t.Fatalf("run %d: event %d differs", i, e)
+			}
+		}
+	}
+}
+
+func TestTreeChildren(t *testing.T) {
+	// Binomial tree over 8 ranks rooted at 0.
+	cases := map[int]struct {
+		children []int
+		parent   int
+	}{
+		0: {[]int{1, 2, 4}, -1},
+		1: {nil, 0},
+		2: {[]int{3}, 0},
+		4: {[]int{5, 6}, 0},
+		6: {[]int{7}, 4},
+	}
+	for rank, want := range cases {
+		children, parent := treeChildren(rank, 0, 8)
+		if parent != want.parent {
+			t.Errorf("rank %d parent = %d, want %d", rank, parent, want.parent)
+		}
+		if len(children) != len(want.children) {
+			t.Errorf("rank %d children = %v, want %v", rank, children, want.children)
+			continue
+		}
+		for i := range children {
+			if children[i] != want.children[i] {
+				t.Errorf("rank %d children = %v, want %v", rank, children, want.children)
+			}
+		}
+	}
+	// Non-zero root shifts the tree.
+	if _, parent := treeChildren(3, 3, 8); parent != -1 {
+		t.Error("root 3 should have no parent")
+	}
+}
+
+func TestCollectivesComplete(t *testing.T) {
+	w := testWorld(t)
+	res, err := w.Run(func(c *Comm) error {
+		if err := c.Bcast(1, 1e6, 0); err != nil {
+			return err
+		}
+		if err := c.Reduce(2, 1e6, 1); err != nil {
+			return err
+		}
+		if err := c.Allreduce(1e6, 2); err != nil {
+			return err
+		}
+		return c.Barrier(4)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed <= 0 {
+		t.Error("nonpositive elapsed time")
+	}
+	// Bcast: n-1 msgs; Reduce: n-1; Allreduce: 2(n-1); Barrier: 2(n-1).
+	want := 3*2 + 2*3*2
+	_ = want
+	if res.Trace.Len() != 6*(w.N()-1) {
+		t.Errorf("trace has %d events, want %d", res.Trace.Len(), 6*(w.N()-1))
+	}
+}
+
+func TestCollectiveArgErrors(t *testing.T) {
+	w := testWorld(t)
+	if _, err := w.Run(func(c *Comm) error { return c.Bcast(9, 1, 0) }); err == nil {
+		t.Error("bad bcast root accepted")
+	}
+	if _, err := w.Run(func(c *Comm) error { return c.Reduce(-1, 1, 0) }); err == nil {
+		t.Error("bad reduce root accepted")
+	}
+	if _, err := w.Run(func(c *Comm) error { return c.SendRecv(c.Rank(), 1, 0) }); err == nil {
+		t.Error("self SendRecv accepted")
+	}
+}
+
+// The profiling loop closes: a program's trace feeds the mapper's pattern.
+func TestTraceFeedsProfiler(t *testing.T) {
+	w := testWorld(t)
+	res, err := w.Run(func(c *Comm) error {
+		return c.Allreduce(512*1024, 0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := res.Trace.Graph()
+	if g.TotalVolume() != float64(2*(w.N()-1)*512*1024) {
+		t.Errorf("profiled volume = %v", g.TotalVolume())
+	}
+	if g.N() != w.N() {
+		t.Error("pattern dimension mismatch")
+	}
+}
+
+// Property: collectives complete without deadlock and elapsed time is
+// nonnegative for arbitrary rank counts and roots.
+func TestQuickCollectivesRun(t *testing.T) {
+	east := geo.MustRegion(geo.EC2Regions, "us-east-1")
+	sg := geo.MustRegion(geo.EC2Regions, "ap-southeast-1")
+	f := func(nRaw, rootRaw uint8) bool {
+		n := int(nRaw%12) + 1
+		root := int(rootRaw) % n
+		cloud := &netmodel.Cloud{
+			Provider: netmodel.AmazonEC2,
+			Instance: netmodel.InstanceType{Name: "t", IntraBWMBps: 100, CrossBWScale: 1},
+			Sites: []netmodel.Site{
+				{Region: east, Nodes: (n + 1) / 2},
+				{Region: sg, Nodes: n/2 + 1},
+			},
+			LT: mat.MustFrom([][]float64{{0.001, 0.1}, {0.1, 0.001}}),
+			BT: mat.MustFrom([][]float64{{100e6, 10e6}, {10e6, 100e6}}),
+		}
+		mapping := make([]int, n)
+		for i := range mapping {
+			mapping[i] = (i * 2) / n
+		}
+		w, err := NewWorld(cloud, mapping)
+		if err != nil {
+			return false
+		}
+		res, err := w.Run(func(c *Comm) error {
+			if err := c.Bcast(root, 1024, 0); err != nil {
+				return err
+			}
+			return c.Allreduce(1024, 1)
+		})
+		if err != nil {
+			return false
+		}
+		return res.Elapsed >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,105 @@
+package netmodel
+
+import (
+	"fmt"
+
+	"geoprocmap/internal/geo"
+	"geoprocmap/internal/mat"
+	"geoprocmap/internal/stats"
+)
+
+// This file implements the multi-cloud extension — the paper's closing
+// future-work item: "later consider the problem in the more complicated
+// geo-distributed environment with multiple cloud providers."
+//
+// MergeClouds combines two single-provider clouds into one deployment.
+// Intra-provider links keep their measured values; links between sites of
+// different providers traverse the public Internet, modeled with the
+// distance fit of the *more conservative* provider (lower bandwidth
+// ceiling, higher latency) further derated by InterProviderFactor —
+// peering between clouds is consistently worse than either provider's
+// backbone.
+
+// InterProviderFactor derates cross-provider bandwidth relative to the
+// conservative provider's backbone model.
+const InterProviderFactor = 0.7
+
+// MergeClouds builds a combined deployment from two clouds (typically from
+// different providers). Site indices of a come first, then b's. The merged
+// cloud keeps a's provider/instance metadata for reporting; per-site NIC
+// behavior follows each site's own intra value, which is preserved.
+func MergeClouds(a, b *Cloud, seed int64) (*Cloud, error) {
+	if a == nil || b == nil {
+		return nil, fmt.Errorf("netmodel: nil cloud in merge")
+	}
+	ma, mb := a.M(), b.M()
+	m := ma + mb
+	sites := make([]Site, 0, m)
+	sites = append(sites, a.Sites...)
+	sites = append(sites, b.Sites...)
+
+	lt := mat.NewSquare(m)
+	bt := mat.NewSquare(m)
+	// Conservative cross-provider model: min bandwidth numerator and caps,
+	// max latency parameters.
+	crossNum := minF(a.Provider.CrossBWNumerator, b.Provider.CrossBWNumerator) * InterProviderFactor
+	crossMin := minF(a.Provider.CrossBWMinMBps, b.Provider.CrossBWMinMBps) * InterProviderFactor
+	crossMax := minF(a.Provider.CrossBWMaxMBps, b.Provider.CrossBWMaxMBps) * InterProviderFactor
+	latBase := maxF(a.Provider.LatBaseSec, b.Provider.LatBaseSec)
+	latPerKm := maxF(a.Provider.LatPerKmSec, b.Provider.LatPerKmSec)
+
+	rng := stats.NewRand(seed)
+	wobble := func() float64 { return 1 + 0.02*(2*rng.Float64()-1) }
+	site := func(i int) (Site, bool) { // site, belongsToA
+		if i < ma {
+			return a.Sites[i], true
+		}
+		return b.Sites[i-ma], false
+	}
+	for k := 0; k < m; k++ {
+		for l := 0; l < m; l++ {
+			sk, aK := site(k)
+			sl, aL := site(l)
+			switch {
+			case aK && aL:
+				lt.Set(k, l, a.LT.At(k, l))
+				bt.Set(k, l, a.BT.At(k, l))
+			case !aK && !aL:
+				lt.Set(k, l, b.LT.At(k-ma, l-ma))
+				bt.Set(k, l, b.BT.At(k-ma, l-ma))
+			default:
+				d := geo.HaversineKm(sk.Region.Location, sl.Region.Location)
+				bw := crossNum / maxF(d, 1)
+				if bw > crossMax {
+					bw = crossMax
+				}
+				if bw < crossMin {
+					bw = crossMin
+				}
+				lt.Set(k, l, (latBase+latPerKm*d)*wobble())
+				bt.Set(k, l, bw*MB*wobble())
+			}
+		}
+	}
+	return &Cloud{
+		Provider: a.Provider,
+		Instance: a.Instance,
+		Sites:    sites,
+		LT:       lt,
+		BT:       bt,
+	}, nil
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

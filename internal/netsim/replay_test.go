@@ -1,0 +1,197 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"geoprocmap/internal/trace"
+)
+
+func TestReplayEmpty(t *testing.T) {
+	s := testSim(t)
+	got, err := s.ReplayTrace(nil)
+	if err != nil || got != 0 {
+		t.Errorf("empty replay = %v, %v", got, err)
+	}
+}
+
+func TestReplaySingleMessage(t *testing.T) {
+	s := testSim(t)
+	got, err := s.ReplayTrace([]trace.Event{{Src: 0, Dst: 2, Bytes: 10e6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 10e6/10e6 + 0.1
+	if !almost(got, want, 1e-9) {
+		t.Errorf("replay = %v, want %v", got, want)
+	}
+}
+
+func TestReplayDependencyChain(t *testing.T) {
+	s := testSim(t)
+	// 0→2 (cross), then 2→1 (cross back), then 1→0 (intra would be wrong:
+	// 1 and 0 share site 0, so intra at NIC rate): latencies accumulate
+	// along the chain because each receiver is synchronized.
+	events := []trace.Event{
+		{Src: 0, Dst: 2, Bytes: 10e6},  // ends t=1, arrives 1.1
+		{Src: 2, Dst: 1, Bytes: 10e6},  // starts 1.1, ends 2.1, arrives 2.2
+		{Src: 1, Dst: 0, Bytes: 100e6}, // intra: starts 2.2, ends 3.2, arrives 3.201
+	}
+	got, err := s.ReplayTrace(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(got, 3.201, 1e-6) {
+		t.Errorf("chain replay = %v, want 3.201", got)
+	}
+}
+
+func TestReplayWANSerialization(t *testing.T) {
+	s := testSim(t)
+	// Two independent senders on the same WAN pipe serialize FIFO.
+	events := []trace.Event{
+		{Src: 0, Dst: 2, Bytes: 10e6},
+		{Src: 1, Dst: 3, Bytes: 10e6},
+	}
+	got, err := s.ReplayTrace(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First: 0→1s; second queues: 1→2s; arrival 2.1.
+	if !almost(got, 2.1, 1e-9) {
+		t.Errorf("serialized replay = %v, want 2.1", got)
+	}
+}
+
+func TestReplayOppositeDirectionsIndependent(t *testing.T) {
+	s := testSim(t)
+	// The (0,1) and (1,0) WAN pipes are distinct resources.
+	events := []trace.Event{
+		{Src: 0, Dst: 2, Bytes: 10e6},
+		{Src: 3, Dst: 1, Bytes: 10e6},
+	}
+	got, err := s.ReplayTrace(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(got, 1.1, 1e-9) {
+		t.Errorf("bidirectional replay = %v, want 1.1 (independent pipes)", got)
+	}
+}
+
+func TestReplayValidation(t *testing.T) {
+	s := testSim(t)
+	bad := [][]trace.Event{
+		{{Src: -1, Dst: 0, Bytes: 1}},
+		{{Src: 0, Dst: 9, Bytes: 1}},
+		{{Src: 2, Dst: 2, Bytes: 1}},
+		{{Src: 0, Dst: 1, Bytes: -1}},
+	}
+	for i, events := range bad {
+		if _, err := s.ReplayTrace(events); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestReplayRewardsColocation(t *testing.T) {
+	s := testSim(t)
+	heavyPair := func(a, b int) []trace.Event {
+		return []trace.Event{
+			{Src: a, Dst: b, Bytes: 20e6},
+			{Src: b, Dst: a, Bytes: 20e6},
+		}
+	}
+	intra, err := s.ReplayTrace(heavyPair(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cross, err := s.ReplayTrace(heavyPair(0, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if intra*3 > cross {
+		t.Errorf("intra %v not ≪ cross %v", intra, cross)
+	}
+}
+
+// Property: replay time is monotone under event appending and at least the
+// single-message lower bound of each event.
+func TestQuickReplayMonotone(t *testing.T) {
+	s, err := New(testCloud(), []int{0, 0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw []uint32) bool {
+		if len(raw) > 15 {
+			raw = raw[:15]
+		}
+		var events []trace.Event
+		prev := -1.0
+		for _, r := range raw {
+			src := int(r % 4)
+			dst := int((r / 4) % 4)
+			if src == dst {
+				dst = (dst + 1) % 4
+			}
+			events = append(events, trace.Event{Src: src, Dst: dst, Bytes: int64(r%100) * 1e5})
+			got, err := s.ReplayTrace(events)
+			if err != nil {
+				return false
+			}
+			if got < prev-1e-9 {
+				return false
+			}
+			prev = got
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: replay is never faster than the fluid phase engine's makespan
+// lower bound intuition — specifically, at least the max single-message
+// service time.
+func TestQuickReplayLowerBound(t *testing.T) {
+	s, err := New(testCloud(), []int{0, 0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 10 {
+			raw = raw[:10]
+		}
+		var events []trace.Event
+		lower := 0.0
+		for _, r := range raw {
+			src := int(r % 4)
+			dst := int((r / 4) % 4)
+			if src == dst {
+				dst = (dst + 1) % 4
+			}
+			bytes := int64(r%50+1) * 1e5
+			events = append(events, trace.Event{Src: src, Dst: dst, Bytes: bytes})
+			capacity, lat, cross := s.link(src, dst)
+			rate := s.nic[src]
+			if cross && capacity < rate {
+				rate = capacity
+			}
+			if lb := float64(bytes)/rate + lat; lb > lower {
+				lower = lb
+			}
+		}
+		got, err := s.ReplayTrace(events)
+		if err != nil {
+			return false
+		}
+		return got >= lower-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

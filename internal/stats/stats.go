@@ -1,0 +1,227 @@
+// Package stats provides the small statistical toolkit the evaluation
+// harness needs: deterministic RNG construction, summary statistics
+// (mean, standard deviation, standard error), empirical CDFs for the
+// Monte Carlo figures, and permutation enumeration for the group-order
+// search in the mapping algorithm.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// NewRand returns a deterministic *rand.Rand seeded with seed. All
+// randomness in the library flows through explicitly seeded generators so
+// that experiments are reproducible run to run.
+func NewRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs (n-1 denominator).
+// It returns 0 for slices shorter than 2.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// StdErr returns the standard error of the mean (the paper's error bars).
+func StdErr(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return StdDev(xs) / math.Sqrt(float64(len(xs)))
+}
+
+// Min returns the minimum of xs, or +Inf for an empty slice.
+func Min(xs []float64) float64 {
+	min := math.Inf(1)
+	for _, x := range xs {
+		if x < min {
+			min = x
+		}
+	}
+	return min
+}
+
+// Max returns the maximum of xs, or -Inf for an empty slice.
+func Max(xs []float64) float64 {
+	max := math.Inf(-1)
+	for _, x := range xs {
+		if x > max {
+			max = x
+		}
+	}
+	return max
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation between closest ranks. It panics on an empty slice or a
+// p outside [0, 100].
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Percentile of empty slice")
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %v out of range [0,100]", p))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// CDF is an empirical cumulative distribution function over a sample.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF from a sample. The input is copied.
+func NewCDF(sample []float64) *CDF {
+	s := append([]float64(nil), sample...)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// Len returns the sample size.
+func (c *CDF) Len() int { return len(c.sorted) }
+
+// At returns P(X <= x), the fraction of the sample at or below x.
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	// sort.SearchFloat64s returns the first index with sorted[i] >= x; we
+	// want values <= x, so search for the first index strictly above x.
+	n := sort.Search(len(c.sorted), func(i int) bool { return c.sorted[i] > x })
+	return float64(n) / float64(len(c.sorted))
+}
+
+// Quantile returns the smallest sample value v such that At(v) >= q, for
+// q in (0, 1]. It panics on an empty CDF or q outside (0, 1].
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.sorted) == 0 {
+		panic("stats: Quantile of empty CDF")
+	}
+	if q <= 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %v out of range (0,1]", q))
+	}
+	idx := int(math.Ceil(q*float64(len(c.sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return c.sorted[idx]
+}
+
+// Points returns up to n (x, P(X<=x)) pairs evenly spaced through the
+// sample, suitable for plotting the CDF curve.
+func (c *CDF) Points(n int) [][2]float64 {
+	if len(c.sorted) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(c.sorted) {
+		n = len(c.sorted)
+	}
+	out := make([][2]float64, 0, n)
+	for k := 1; k <= n; k++ {
+		idx := k*len(c.sorted)/n - 1
+		out = append(out, [2]float64{c.sorted[idx], float64(idx+1) / float64(len(c.sorted))})
+	}
+	return out
+}
+
+// Normalize divides every element by the maximum of xs and returns a new
+// slice; an all-zero or empty input is returned as a copy unchanged.
+func Normalize(xs []float64) []float64 {
+	out := append([]float64(nil), xs...)
+	max := Max(xs)
+	if max <= 0 || math.IsInf(max, -1) {
+		return out
+	}
+	for i := range out {
+		out[i] /= max
+	}
+	return out
+}
+
+// Permutations calls fn with every permutation of [0, n). The slice passed
+// to fn is reused between calls; fn must copy it if it needs to retain it.
+// If fn returns false the enumeration stops early. Permutations panics for
+// n < 0. Heap's algorithm, so the number of calls is n! — callers bound n.
+func Permutations(n int, fn func(perm []int) bool) {
+	if n < 0 {
+		panic("stats: Permutations of negative n")
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	if n == 0 {
+		fn(perm)
+		return
+	}
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == 1 {
+			return fn(perm)
+		}
+		for i := 0; i < k; i++ {
+			if !rec(k - 1) {
+				return false
+			}
+			if i < k-1 {
+				if k%2 == 0 {
+					perm[i], perm[k-1] = perm[k-1], perm[i]
+				} else {
+					perm[0], perm[k-1] = perm[k-1], perm[0]
+				}
+			}
+		}
+		return true
+	}
+	rec(n)
+}
+
+// Factorial returns n! as a float64 (exact for n <= 18). It panics for
+// negative n.
+func Factorial(n int) float64 {
+	if n < 0 {
+		panic("stats: Factorial of negative n")
+	}
+	f := 1.0
+	for i := 2; i <= n; i++ {
+		f *= float64(i)
+	}
+	return f
+}

@@ -1,0 +1,25 @@
+package trace_test
+
+import (
+	"fmt"
+
+	"geoprocmap/internal/trace"
+)
+
+// ExampleCompress recovers the loop structure of an iterative
+// communication stream, the way CYPRESS keeps long traces compact.
+func ExampleCompress() {
+	var events []trace.Event
+	for iter := 0; iter < 50; iter++ {
+		events = append(events,
+			trace.Event{Src: 0, Dst: 1, Bytes: 44032},
+			trace.Event{Src: 0, Dst: 8, Bytes: 84992},
+		)
+	}
+	c := trace.Compress(events)
+	fmt.Printf("%d events -> %d items (%.0fx)\n", c.RawLen, c.Size(), c.Ratio())
+	fmt.Println(c)
+	// Output:
+	// 100 events -> 3 items (33x)
+	// 50×[→1 44032B; →8 84992B]
+}

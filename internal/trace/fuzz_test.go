@@ -1,0 +1,41 @@
+package trace
+
+import "testing"
+
+// FuzzCompressRoundTrip drives the loop compressor with arbitrary byte
+// strings interpreted as small-alphabet event streams; compression must
+// round-trip exactly and never inflate.
+func FuzzCompressRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 1, 1, 1})
+	f.Add([]byte{1, 2, 1, 2, 1, 2})
+	f.Add([]byte{1, 2, 3, 1, 2, 3, 1, 2, 3, 9})
+	f.Add([]byte{5, 5, 2, 5, 5, 2, 5, 5, 2})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) > 4096 {
+			raw = raw[:4096]
+		}
+		events := make([]Event, len(raw))
+		for i, b := range raw {
+			events[i] = Event{
+				Src:   0,
+				Dst:   int(b%5) + 1,
+				Bytes: int64(b/5) * 64,
+				Tag:   int(b % 3),
+			}
+		}
+		c := Compress(events)
+		if c.Size() > len(events) {
+			t.Fatalf("compression inflated: %d items for %d events", c.Size(), len(events))
+		}
+		got := c.Decompress()
+		if len(got) != len(events) {
+			t.Fatalf("round trip length %d, want %d", len(got), len(events))
+		}
+		for i := range events {
+			if got[i] != events[i] {
+				t.Fatalf("event %d mismatch: %v vs %v", i, got[i], events[i])
+			}
+		}
+	})
+}

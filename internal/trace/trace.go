@@ -1,0 +1,107 @@
+// Package trace records and compresses application communication traces.
+//
+// It stands in for CYPRESS (Zhai et al., SC'14), which the paper uses to
+// obtain the communication pattern matrix CG and message-count matrix AG by
+// combining static structure extraction with runtime trace compression.
+// Here, workloads from internal/apps emit their message events into a
+// Recorder (the "runtime" half), and the Compress function recovers
+// loop structure from each process's event stream (the "structure" half),
+// storing long iterative traces in a compact nested-loop form. The
+// aggregate matrices the optimizer consumes come from Recorder.Graph.
+package trace
+
+import (
+	"fmt"
+
+	"geoprocmap/internal/comm"
+)
+
+// Event is a single point-to-point message: src sent Bytes bytes to Dst.
+// Tag carries an application-defined phase label (e.g. iteration kind).
+type Event struct {
+	Src   int
+	Dst   int
+	Bytes int64
+	Tag   int
+}
+
+// Recorder accumulates message events from a virtual-MPI program run.
+type Recorder struct {
+	n      int
+	events []Event
+	byProc [][]int // indices into events, per source process
+}
+
+// NewRecorder returns a Recorder for an n-process program.
+func NewRecorder(n int) *Recorder {
+	if n <= 0 {
+		panic(fmt.Sprintf("trace: invalid process count %d", n))
+	}
+	return &Recorder{n: n, byProc: make([][]int, n)}
+}
+
+// N returns the number of processes.
+func (r *Recorder) N() int { return r.n }
+
+// Send records a message of size bytes from src to dst with the given tag.
+// Self-messages are rejected — the virtual-MPI layer never sends to itself.
+func (r *Recorder) Send(src, dst int, bytes int64, tag int) error {
+	if src < 0 || src >= r.n || dst < 0 || dst >= r.n {
+		return fmt.Errorf("trace: endpoint out of range: %d→%d with %d processes", src, dst, r.n)
+	}
+	if src == dst {
+		return fmt.Errorf("trace: self-message on process %d", src)
+	}
+	if bytes < 0 {
+		return fmt.Errorf("trace: negative message size %d", bytes)
+	}
+	r.byProc[src] = append(r.byProc[src], len(r.events))
+	r.events = append(r.events, Event{Src: src, Dst: dst, Bytes: bytes, Tag: tag})
+	return nil
+}
+
+// MustSend is Send for program generators whose endpoints are correct by
+// construction; it panics on error.
+func (r *Recorder) MustSend(src, dst int, bytes int64, tag int) {
+	if err := r.Send(src, dst, bytes, tag); err != nil {
+		panic(err)
+	}
+}
+
+// Len returns the total number of recorded events.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// Events returns the global event sequence in record order. The returned
+// slice is shared; callers must not modify it.
+func (r *Recorder) Events() []Event { return r.events }
+
+// ProcessEvents returns the events sent by process src, in order.
+func (r *Recorder) ProcessEvents(src int) []Event {
+	if src < 0 || src >= r.n {
+		panic(fmt.Sprintf("trace: process %d out of range", src))
+	}
+	out := make([]Event, len(r.byProc[src]))
+	for i, idx := range r.byProc[src] {
+		out[i] = r.events[idx]
+	}
+	return out
+}
+
+// Graph aggregates the recorded events into the application's combined
+// CG/AG communication pattern.
+func (r *Recorder) Graph() *comm.Graph {
+	g := comm.NewGraph(r.n)
+	for _, e := range r.events {
+		g.AddTraffic(e.Src, e.Dst, float64(e.Bytes), 1)
+	}
+	return g
+}
+
+// TotalBytes returns the sum of all message sizes.
+func (r *Recorder) TotalBytes() int64 {
+	var t int64
+	for _, e := range r.events {
+		t += e.Bytes
+	}
+	return t
+}

@@ -1,0 +1,201 @@
+// Package viz renders line charts as standalone SVG documents, so the
+// figure experiments can emit actual figures (improvement-vs-scale curves,
+// best-of-K decay, constraint sweeps) next to their text tables. It is a
+// deliberately small renderer: multiple named series, linear or log₁₀
+// x axes, automatic ranges and ticks, and a legend — no external
+// dependencies.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named polyline.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Chart describes a figure.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// LogX plots x on a log10 scale (all x must be positive).
+	LogX bool
+	// Width and Height are the SVG canvas size; zero selects 720×440.
+	Width, Height int
+}
+
+// palette holds the series stroke colors (colorblind-safe-ish defaults).
+var palette = []string{"#1b6ca8", "#d1495b", "#66a182", "#edae49", "#775093", "#3e4455"}
+
+const (
+	marginLeft   = 70
+	marginRight  = 20
+	marginTop    = 48
+	marginBottom = 56
+)
+
+// SVG renders the chart.
+func (c *Chart) SVG() (string, error) {
+	if len(c.Series) == 0 {
+		return "", fmt.Errorf("viz: chart has no series")
+	}
+	width, height := c.Width, c.Height
+	if width == 0 {
+		width = 720
+	}
+	if height == 0 {
+		height = 440
+	}
+	if width < 200 || height < 150 {
+		return "", fmt.Errorf("viz: canvas %d×%d too small", width, height)
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("viz: series %q has %d x values and %d y values", s.Name, len(s.X), len(s.Y))
+		}
+		if len(s.X) == 0 {
+			return "", fmt.Errorf("viz: series %q is empty", s.Name)
+		}
+		for i := range s.X {
+			x := s.X[i]
+			if c.LogX {
+				if x <= 0 {
+					return "", fmt.Errorf("viz: series %q has nonpositive x on a log axis", s.Name)
+				}
+				x = math.Log10(x)
+			}
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+		}
+	}
+	if minX == maxX {
+		minX, maxX = minX-1, maxX+1
+	}
+	if minY == maxY {
+		minY, maxY = minY-1, maxY+1
+	}
+	// Pad the y range slightly.
+	pad := (maxY - minY) * 0.05
+	minY, maxY = minY-pad, maxY+pad
+
+	plotW := float64(width - marginLeft - marginRight)
+	plotH := float64(height - marginTop - marginBottom)
+	sx := func(x float64) float64 {
+		if c.LogX {
+			x = math.Log10(x)
+		}
+		return float64(marginLeft) + (x-minX)/(maxX-minX)*plotW
+	}
+	sy := func(y float64) float64 {
+		return float64(marginTop) + (1-(y-minY)/(maxY-minY))*plotH
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif">`+"\n", width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-size="16" font-weight="bold">%s</text>`+"\n", marginLeft, escape(c.Title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333"/>`+"\n",
+		marginLeft, height-marginBottom, width-marginRight, height-marginBottom)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333"/>`+"\n",
+		marginLeft, marginTop, marginLeft, height-marginBottom)
+
+	// Y ticks.
+	for i := 0; i <= 4; i++ {
+		v := minY + (maxY-minY)*float64(i)/4
+		y := sy(v)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ccc"/>`+"\n",
+			marginLeft, y, width-marginRight, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="11" text-anchor="end">%s</text>`+"\n",
+			marginLeft-6, y+4, formatTick(v))
+	}
+	// X ticks: at each distinct data x of the first series (≤ 10), else 5
+	// evenly spaced positions.
+	xticks := tickValues(c.Series[0].X, c.LogX, minX, maxX)
+	for _, v := range xticks {
+		x := sx(v)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#333"/>`+"\n",
+			x, height-marginBottom, x, height-marginBottom+5)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			x, height-marginBottom+18, formatTick(v))
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		marginLeft+int(plotW/2), height-12, escape(c.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%d" font-size="12" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+		marginTop+int(plotH/2), marginTop+int(plotH/2), escape(c.YLabel))
+
+	// Series.
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for i := range s.X {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", sx(s.X[i]), sy(s.Y[i])))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+			strings.Join(pts, " "), color)
+		for i := range s.X {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n", sx(s.X[i]), sy(s.Y[i]), color)
+		}
+		// Legend entry.
+		lx := width - marginRight - 170
+		ly := marginTop + 8 + si*18
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			lx, ly, lx+22, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="12">%s</text>`+"\n", lx+28, ly+4, escape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+// tickValues picks x tick positions in data space.
+func tickValues(xs []float64, logX bool, minT, maxT float64) []float64 {
+	uniq := map[float64]bool{}
+	var vals []float64
+	for _, x := range xs {
+		if !uniq[x] {
+			uniq[x] = true
+			vals = append(vals, x)
+		}
+	}
+	if len(vals) <= 10 && len(vals) >= 2 {
+		return vals
+	}
+	out := make([]float64, 0, 5)
+	for i := 0; i <= 4; i++ {
+		t := minT + (maxT-minT)*float64(i)/4
+		if logX {
+			t = math.Pow(10, t)
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case av >= 1e4:
+		return fmt.Sprintf("%.0fk", v/1e3)
+	case av >= 10 || v == math.Trunc(v):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,142 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func simpleChart() *Chart {
+	return &Chart{
+		Title:  "Improvement vs scale",
+		XLabel: "machines",
+		YLabel: "improvement (%)",
+		Series: []Series{
+			{Name: "Geo", X: []float64{64, 128, 256}, Y: []float64{55, 56, 57}},
+			{Name: "Greedy", X: []float64{64, 128, 256}, Y: []float64{38, 40, 47}},
+		},
+	}
+}
+
+func TestSVGStructure(t *testing.T) {
+	svg, err := simpleChart().SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"<svg", "</svg>", "Improvement vs scale", "machines", "improvement (%)",
+		"Geo", "Greedy", "<polyline", "<circle",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Errorf("%d polylines, want 2", got)
+	}
+	if got := strings.Count(svg, "<circle"); got != 6 {
+		t.Errorf("%d point markers, want 6", got)
+	}
+}
+
+func TestSVGLogX(t *testing.T) {
+	c := &Chart{
+		Title: "best-of-K",
+		Series: []Series{
+			{Name: "LU", X: []float64{1, 10, 100, 1000}, Y: []float64{1, 0.9, 0.8, 0.78}},
+		},
+		LogX: true,
+	}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Log spacing: the gap between x(1)→x(10) equals x(10)→x(100).
+	if !strings.Contains(svg, "<polyline") {
+		t.Fatal("no polyline")
+	}
+	// Nonpositive x on log axis is rejected.
+	c.Series[0].X[0] = 0
+	if _, err := c.SVG(); err == nil {
+		t.Error("log axis accepted x=0")
+	}
+}
+
+func TestSVGErrors(t *testing.T) {
+	cases := []*Chart{
+		{},
+		{Series: []Series{{Name: "a", X: []float64{1}, Y: nil}}},
+		{Series: []Series{{Name: "a"}}},
+		{Series: []Series{{Name: "a", X: []float64{1}, Y: []float64{1}}}, Width: 10, Height: 10},
+	}
+	for i, c := range cases {
+		if _, err := c.SVG(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestSVGEscapesText(t *testing.T) {
+	c := simpleChart()
+	c.Title = `<script>"x&y"</script>`
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(svg, "<script>") {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(svg, "&lt;script&gt;") {
+		t.Error("escaped form missing")
+	}
+}
+
+func TestSVGConstantSeries(t *testing.T) {
+	c := &Chart{Series: []Series{{Name: "flat", X: []float64{1, 2}, Y: []float64{5, 5}}}}
+	if _, err := c.SVG(); err != nil {
+		t.Errorf("constant series should render: %v", err)
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := map[float64]string{
+		2_000_000: "2.0M",
+		50_000:    "50k",
+		128:       "128",
+		0.5:       "0.50",
+		3:         "3",
+	}
+	for v, want := range cases {
+		if got := formatTick(v); got != want {
+			t.Errorf("formatTick(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+// Property: rendering never panics and produces well-formed-ish output for
+// arbitrary finite data.
+func TestQuickSVGRobust(t *testing.T) {
+	f := func(raw []int16, logX bool) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		if len(raw) > 40 {
+			raw = raw[:40]
+		}
+		xs := make([]float64, len(raw))
+		ys := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(i + 1) // positive, increasing (log-safe)
+			ys[i] = float64(r)
+		}
+		c := &Chart{Title: "fuzz", Series: []Series{{Name: "s", X: xs, Y: ys}}, LogX: logX}
+		svg, err := c.SVG()
+		if err != nil {
+			return false
+		}
+		return strings.HasPrefix(svg, "<svg") && strings.HasSuffix(strings.TrimSpace(svg), "</svg>")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
