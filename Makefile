@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build vet lint test race check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Repo-specific static analysis (internal/analysis via cmd/geolint).
+# Exits non-zero on any finding not suppressed by a justified
+# //geolint:ignore directive.
+lint:
+	$(GO) run ./cmd/geolint ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the packages that spawn goroutines (the virtual
+# MPI scheduler and the network simulator).
+race:
+	$(GO) test -race ./internal/mpi/... ./internal/netsim/...
+
+check: build vet lint test race

@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix is the suppression directive. Full form:
+//
+//	//geolint:ignore <rule> <one-line justification>
+//
+// The directive suppresses findings of <rule> on its own line and on the
+// line immediately below (so it can trail the offending statement or sit
+// on its own line above it).
+const ignorePrefix = "//geolint:ignore"
+
+// ignoreSet maps filename → line → rule IDs suppressed at that line.
+type ignoreSet map[string]map[int]map[string]bool
+
+func (ig ignoreSet) add(file string, line int, rule string) {
+	byLine := ig[file]
+	if byLine == nil {
+		byLine = map[int]map[string]bool{}
+		ig[file] = byLine
+	}
+	rules := byLine[line]
+	if rules == nil {
+		rules = map[string]bool{}
+		byLine[line] = rules
+	}
+	rules[rule] = true
+}
+
+func (ig ignoreSet) suppressed(f Finding) bool {
+	return ig[f.Pos.Filename][f.Pos.Line][f.Rule]
+}
+
+// collectIgnores scans every comment of the pass for ignore directives.
+// Well-formed directives (known rule, non-empty justification) populate
+// the returned ignoreSet; malformed ones become findings under the
+// pseudo-rule "geolint" and suppress nothing.
+func collectIgnores(p *Pass, knownRules map[string]bool) (ignoreSet, []Finding) {
+	ig := ignoreSet{}
+	var malformed []Finding
+	for _, sf := range p.Files {
+		for _, cg := range sf.AST.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+				fields := strings.Fields(rest)
+				switch {
+				case len(fields) == 0:
+					malformed = append(malformed, Finding{
+						Rule: "geolint", Pos: pos,
+						Message: "ignore directive is missing a rule ID and justification: want //geolint:ignore <rule> <reason>",
+					})
+				case !knownRules[fields[0]]:
+					malformed = append(malformed, Finding{
+						Rule: "geolint", Pos: pos,
+						Message: "ignore directive names unknown rule " + quote(fields[0]),
+					})
+				case len(fields) == 1:
+					malformed = append(malformed, Finding{
+						Rule: "geolint", Pos: pos,
+						Message: "ignore directive for " + quote(fields[0]) + " has no justification: want //geolint:ignore <rule> <reason>",
+					})
+				default:
+					ig.add(pos.Filename, pos.Line, fields[0])
+					ig.add(pos.Filename, pos.Line+1, fields[0])
+				}
+			}
+		}
+	}
+	return ig, malformed
+}
+
+func quote(s string) string { return "\"" + s + "\"" }
+
+// position is a convenience for rules.
+func (p *Pass) position(pos token.Pos) token.Position { return p.Fset.Position(pos) }

@@ -1,0 +1,285 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Config describes what to load.
+type Config struct {
+	// Root is the module root (the directory containing go.mod).
+	Root string
+	// Module is the module path; parsed from Root/go.mod when empty.
+	Module string
+	// Patterns restricts loading to package-dir patterns relative to
+	// Root: "./..." (everything), "./internal/..." (subtree), or a plain
+	// directory. Empty means everything.
+	Patterns []string
+}
+
+// Load parses and best-effort type-checks every package under the module
+// root matching the patterns, returning one Pass per package. Directories
+// named testdata, vendor, or starting with "." or "_" are skipped, as the
+// go tool does. Type-check failures are recorded on the Pass rather than
+// aborting, so syntactic rules always run.
+func Load(cfg Config) ([]*Pass, error) {
+	root, err := filepath.Abs(cfg.Root)
+	if err != nil {
+		return nil, err
+	}
+	module := cfg.Module
+	if module == "" {
+		module, err = modulePath(filepath.Join(root, "go.mod"))
+		if err != nil {
+			return nil, err
+		}
+	}
+	l := &loader{
+		root:   root,
+		module: module,
+		fset:   token.NewFileSet(),
+		passes: map[string]*Pass{},
+		typed:  map[string]*typedPkg{},
+	}
+	l.std = importer.ForCompiler(l.fset, "source", nil)
+
+	dirs, err := l.packageDirs(cfg.Patterns)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Pass
+	for _, dir := range dirs {
+		p, err := l.load(dir)
+		if err != nil {
+			return nil, err
+		}
+		if p != nil {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// LoadDir loads a single directory as a package with an explicit import
+// path, without consulting go.mod. The golden-file tests use it to place
+// fixture packages at rule-relevant fake paths (e.g. a testdata fixture
+// pretending to live under geoprocmap/internal/mpi).
+func LoadDir(dir, fakePath string) (*Pass, error) {
+	l := &loader{
+		root:   dir,
+		module: fakePath,
+		fset:   token.NewFileSet(),
+		passes: map[string]*Pass{},
+		typed:  map[string]*typedPkg{},
+	}
+	l.std = importer.ForCompiler(l.fset, "source", nil)
+	return l.load(dir)
+}
+
+type typedPkg struct {
+	pkg *types.Package
+	err error
+}
+
+type loader struct {
+	root   string
+	module string
+	fset   *token.FileSet
+	std    types.Importer
+	passes map[string]*Pass // dir → pass
+	typed  map[string]*typedPkg
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("analysis: reading %s: %w", gomod, err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module line in %s", gomod)
+}
+
+// packageDirs walks the module tree and returns directories holding Go
+// files that match the patterns.
+func (l *loader) packageDirs(patterns []string) ([]string, error) {
+	var prefixes []string // rel-dir prefixes; nil means everything
+	all := len(patterns) == 0
+	for _, pat := range patterns {
+		pat = strings.TrimPrefix(pat, "./")
+		if pat == "..." || pat == "" {
+			all = true
+			continue
+		}
+		prefixes = append(prefixes, strings.TrimSuffix(pat, "/..."))
+	}
+	var dirs []string
+	err := filepath.WalkDir(l.root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		rel, err := filepath.Rel(l.root, path)
+		if err != nil {
+			return err
+		}
+		if !all && !matchesAny(rel, prefixes) {
+			return nil
+		}
+		entries, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				dirs = append(dirs, path)
+				break
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+func matchesAny(rel string, prefixes []string) bool {
+	rel = filepath.ToSlash(rel)
+	for _, p := range prefixes {
+		if rel == p || strings.HasPrefix(rel, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// importPath maps a directory under the root to its import path.
+func (l *loader) importPath(dir string) string {
+	rel, err := filepath.Rel(l.root, dir)
+	if err != nil || rel == "." {
+		return l.module
+	}
+	return l.module + "/" + filepath.ToSlash(rel)
+}
+
+// dirFor maps a module-internal import path back to a directory.
+func (l *loader) dirFor(path string) string {
+	if path == l.module {
+		return l.root
+	}
+	return filepath.Join(l.root, filepath.FromSlash(strings.TrimPrefix(path, l.module+"/")))
+}
+
+// load parses one package directory into a Pass, type-checking its
+// non-test files.
+func (l *loader) load(dir string) (*Pass, error) {
+	if p, ok := l.passes[dir]; ok {
+		return p, nil
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	p := &Pass{Fset: l.fset, Path: l.importPath(dir)}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		full := filepath.Join(dir, name)
+		f, err := parser.ParseFile(l.fset, full, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		p.Files = append(p.Files, &SourceFile{
+			Name: full,
+			AST:  f,
+			Test: strings.HasSuffix(name, "_test.go"),
+		})
+	}
+	if len(p.Files) == 0 {
+		l.passes[dir] = nil
+		return nil, nil
+	}
+	sort.Slice(p.Files, func(i, j int) bool { return p.Files[i].Name < p.Files[j].Name })
+	l.passes[dir] = p
+	l.typeCheck(p)
+	return p, nil
+}
+
+// typeCheck populates p.Info/p.Pkg from the package's non-test files.
+// Errors are collected, not fatal: rules fall back to syntax when type
+// information is missing.
+func (l *loader) typeCheck(p *Pass) {
+	var files []*ast.File
+	for _, sf := range p.Files {
+		if !sf.Test {
+			files = append(files, sf.AST)
+		}
+	}
+	if len(files) == 0 {
+		return
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Uses:  map[*ast.Ident]types.Object{},
+		Defs:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{
+		Importer: (*moduleImporter)(l),
+		Error:    func(err error) { p.TypeErrors = append(p.TypeErrors, err) },
+	}
+	pkg, err := conf.Check(p.Path, l.fset, files, info)
+	if err != nil && len(p.TypeErrors) == 0 {
+		p.TypeErrors = append(p.TypeErrors, err)
+	}
+	p.Info = info
+	p.Pkg = pkg
+}
+
+// moduleImporter resolves module-internal imports by recursively loading
+// them from source and delegates everything else (the standard library)
+// to the stdlib source importer.
+type moduleImporter loader
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	l := (*loader)(m)
+	if path == l.module || strings.HasPrefix(path, l.module+"/") {
+		if t, ok := l.typed[path]; ok {
+			return t.pkg, t.err
+		}
+		// Reserve the slot first so import cycles fail cleanly instead of
+		// recursing forever.
+		l.typed[path] = &typedPkg{err: fmt.Errorf("analysis: import cycle through %s", path)}
+		p, err := l.load(l.dirFor(path))
+		if err == nil && (p == nil || p.Pkg == nil) {
+			err = fmt.Errorf("analysis: cannot type-check %s", path)
+		}
+		t := &typedPkg{err: err}
+		if p != nil {
+			t.pkg = p.Pkg
+		}
+		l.typed[path] = t
+		return t.pkg, t.err
+	}
+	return l.std.Import(path)
+}

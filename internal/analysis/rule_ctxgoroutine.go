@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// CtxGoroutineRule flags `go func` literals in the simulator packages
+// (internal/mpi, internal/netsim) that have no visible shutdown path: the
+// body neither selects on a done/quit/stop channel nor is tracked by a
+// sync.WaitGroup (a *.Done() call, conventionally deferred). The virtual
+// MPI runtime spawns one goroutine per rank; an experiment sweep runs
+// thousands of Worlds, so an unjoinable goroutine per aborted run is a
+// leak that eventually dominates memory and poisons -race runs.
+type CtxGoroutineRule struct{}
+
+// ctxGoroutineScopes are the internal/ subtrees the rule guards.
+var ctxGoroutineScopes = []string{"mpi", "netsim"}
+
+func (*CtxGoroutineRule) ID() string { return "ctxgoroutine" }
+
+func (*CtxGoroutineRule) Doc() string {
+	return "simulator goroutines must select on a done/quit channel or be WaitGroup-tracked"
+}
+
+func (r *CtxGoroutineRule) inScope(path string) bool {
+	i := strings.Index(path, "/internal/")
+	if i < 0 {
+		return false
+	}
+	rest := path[i+len("/internal/"):]
+	for _, s := range ctxGoroutineScopes {
+		if rest == s || strings.HasPrefix(rest, s+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *CtxGoroutineRule) Check(p *Pass) []Finding {
+	if !r.inScope(p.Path) {
+		return nil
+	}
+	var out []Finding
+	for _, sf := range p.Files {
+		if sf.Test {
+			continue
+		}
+		ast.Inspect(sf.AST, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := gs.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true // named funcs are assumed to manage their own lifetime
+			}
+			if goroutineHasShutdownPath(lit.Body) {
+				return true
+			}
+			out = append(out, Finding{
+				Rule: "ctxgoroutine",
+				Pos:  p.position(gs.Pos()),
+				Message: "goroutine has no shutdown path: select on a done/quit channel or track it " +
+					"with a sync.WaitGroup (defer wg.Done())",
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// goroutineHasShutdownPath reports whether the body contains either a
+// WaitGroup Done call or a select/receive on a cancellation channel.
+func goroutineHasShutdownPath(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" && len(n.Args) == 0 {
+				// wg.Done() — WaitGroup-tracked. (ctx.Done() in a select is
+				// handled below via the cancellation-channel check, and a
+				// bare ctx.Done() call outside a receive is harmless to
+				// accept: it still evidences a cancellation design.)
+				found = true
+			}
+		case *ast.UnaryExpr:
+			// <-ch receive: accept when the channel names a cancellation
+			// signal (done, quit, stop, cancel, ctx).
+			if n.Op.String() == "<-" && isCancelChan(n.X) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isCancelChan reports whether the expression looks like a cancellation
+// channel: its identifier path contains done, quit, stop, cancel, or ctx.
+func isCancelChan(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return cancelName(e.Name)
+	case *ast.SelectorExpr:
+		return cancelName(e.Sel.Name) || isCancelChan(e.X)
+	case *ast.CallExpr:
+		return isCancelChan(e.Fun)
+	case *ast.ParenExpr:
+		return isCancelChan(e.X)
+	}
+	return false
+}
+
+func cancelName(name string) bool {
+	n := strings.ToLower(name)
+	for _, w := range []string{"done", "quit", "stop", "cancel", "ctx"} {
+		if strings.Contains(n, w) {
+			return true
+		}
+	}
+	return false
+}

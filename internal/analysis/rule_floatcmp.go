@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// FloatCmpRule flags ==/!= between float-typed expressions in the cost and
+// mapping packages. The α–β transfer-time costs of Formula 3 (AG·LT +
+// CG/BT) are sums of products of measured quantities; two placements with
+// equal cost rarely compare bitwise-equal, so exact equality silently
+// turns "tie" into "different" and makes tie-breaking placement decisions
+// depend on summation order. Compare with a tolerance
+// (math.Abs(a-b) <= eps) or annotate a genuine exact sentinel (such as a
+// zero-value default) with //geolint:ignore floatcmp <reason>.
+//
+// Comparisons where both operands are compile-time constants are exact
+// and exempt, as are test files, which legitimately assert bitwise
+// determinism.
+type FloatCmpRule struct{}
+
+// floatCmpScopes are the import-path segments (directly under internal/)
+// whose packages carry cost or mapping arithmetic.
+var floatCmpScopes = []string{
+	"core", "baselines", "netmodel", "netsim", "experiments", "calib", "collectives",
+}
+
+func (*FloatCmpRule) ID() string { return "floatcmp" }
+
+func (*FloatCmpRule) Doc() string {
+	return "flag ==/!= between float expressions in cost/mapping packages; compare with a tolerance"
+}
+
+func (r *FloatCmpRule) inScope(path string) bool {
+	i := strings.Index(path, "/internal/")
+	if i < 0 {
+		return false
+	}
+	rest := path[i+len("/internal/"):]
+	for _, s := range floatCmpScopes {
+		if rest == s || strings.HasPrefix(rest, s+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *FloatCmpRule) Check(p *Pass) []Finding {
+	if !r.inScope(p.Path) || p.Info == nil {
+		return nil
+	}
+	var out []Finding
+	for _, sf := range p.Files {
+		if sf.Test {
+			continue
+		}
+		ast.Inspect(sf.AST, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			tx, ty := p.Info.Types[be.X], p.Info.Types[be.Y]
+			if !isFloat(tx.Type) || !isFloat(ty.Type) {
+				return true
+			}
+			if tx.Value != nil && ty.Value != nil {
+				return true // constant folding is exact
+			}
+			out = append(out, Finding{
+				Rule: "floatcmp",
+				Pos:  p.position(be.OpPos),
+				Message: "float " + be.Op.String() +
+					" comparison: use a tolerance (math.Abs(a-b) <= eps) or annotate an exact sentinel with //geolint:ignore floatcmp <reason>",
+			})
+			return true
+		})
+	}
+	return out
+}

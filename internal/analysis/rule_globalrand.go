@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// GlobalRandRule forbids package-level math/rand functions in internal
+// packages. Those functions draw from the process-global, unseeded
+// generator, so any call makes K-means grouping, constraint sampling, and
+// experiment setup differ run to run — breaking the reproducibility
+// contract of EXPERIMENTS.md. Constructors (New, NewSource, NewZipf) are
+// allowed: they are how the injected seeded *rand.Rand is built (see
+// stats.NewRand).
+type GlobalRandRule struct{}
+
+// globalRandDeny lists the math/rand package-level functions that touch
+// the global generator.
+var globalRandDeny = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+}
+
+func (*GlobalRandRule) ID() string { return "globalrand" }
+
+func (*GlobalRandRule) Doc() string {
+	return "forbid global math/rand functions in internal/...; inject a seeded *rand.Rand instead"
+}
+
+func (r *GlobalRandRule) Check(p *Pass) []Finding {
+	if !inInternal(p) {
+		return nil
+	}
+	var out []Finding
+	for _, sf := range p.Files {
+		// The local name math/rand is imported under in this file, if any.
+		local := importName(sf.AST, "math/rand")
+		if local == "" || local == "_" {
+			continue
+		}
+		ast.Inspect(sf.AST, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || id.Name != local || !globalRandDeny[sel.Sel.Name] {
+				return true
+			}
+			// With type information, confirm the identifier really is the
+			// package (not a shadowing variable).
+			if p.Info != nil {
+				if obj, ok := p.Info.Uses[id]; ok {
+					if _, isPkg := obj.(*types.PkgName); !isPkg {
+						return true
+					}
+				}
+			}
+			out = append(out, Finding{
+				Rule: "globalrand",
+				Pos:  p.position(call.Pos()),
+				Message: "call to global math/rand." + sel.Sel.Name +
+					": thread a seeded *rand.Rand (stats.NewRand) for run-to-run determinism",
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// importName returns the name path is bound to in file ("" if not
+// imported; "." for dot imports is returned verbatim and callers treat it
+// as not-trackable).
+func importName(file *ast.File, path string) string {
+	for _, imp := range file.Imports {
+		if strings.Trim(imp.Path.Value, `"`) != path {
+			continue
+		}
+		if imp.Name != nil {
+			return imp.Name.Name
+		}
+		if i := strings.LastIndex(path, "/"); i >= 0 {
+			return path[i+1:]
+		}
+		return path
+	}
+	return ""
+}
+
+// inInternal reports whether the package lives in the module's internal/
+// tree — the library scope of globalrand and libpanic. cmd/ and examples/
+// are exempt by construction.
+func inInternal(p *Pass) bool { return strings.Contains(p.Path, "/internal/") }

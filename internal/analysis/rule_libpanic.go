@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// LibPanicRule forbids panic in library (internal/...) non-test code. A
+// geo-mapping run that panics deep inside a cost evaluation tears down the
+// whole experiment harness instead of failing one instance with a
+// reportable error, so caller-reachable misuse must surface as returned
+// errors. Two escape hatches exist:
+//
+//   - functions named Must*/must* are invariant-violation helpers by
+//     convention (MustFrom, MustSend, MustRegion) and may panic, and
+//   - a true internal invariant can be annotated in place:
+//     //geolint:ignore libpanic <why this is unreachable from callers>
+type LibPanicRule struct{}
+
+func (*LibPanicRule) ID() string { return "libpanic" }
+
+func (*LibPanicRule) Doc() string {
+	return "forbid panic in internal/... library code outside Must* helpers; return errors instead"
+}
+
+func (r *LibPanicRule) Check(p *Pass) []Finding {
+	if !inInternal(p) {
+		return nil
+	}
+	var out []Finding
+	for _, sf := range p.Files {
+		if sf.Test {
+			continue
+		}
+		walkFuncs(sf.AST, func(fd *ast.FuncDecl) {
+			name := fd.Name.Name
+			if strings.HasPrefix(name, "Must") || strings.HasPrefix(name, "must") {
+				return
+			}
+			ast.Inspect(fd, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || id.Name != "panic" {
+					return true
+				}
+				// Confirm it is the builtin, not a shadowing function, when
+				// type information is available.
+				if p.Info != nil {
+					if obj, ok := p.Info.Uses[id]; ok && obj.Pkg() != nil {
+						return true // locally defined panic(), not the builtin
+					}
+				}
+				out = append(out, Finding{
+					Rule: "libpanic",
+					Pos:  p.position(call.Pos()),
+					Message: "panic in library function " + name +
+						": return an error, rename the helper Must*, or annotate the invariant with //geolint:ignore libpanic <reason>",
+				})
+				return true
+			})
+		})
+	}
+	return out
+}

@@ -1,0 +1,43 @@
+// Package fixture exercises the ctxgoroutine rule: goroutines in the
+// simulator packages need a visible shutdown path — a done/quit channel
+// select or WaitGroup tracking.
+package fixture
+
+import "sync"
+
+// Bad: nothing joins or cancels this goroutine.
+func leaky(work func()) {
+	go func() { // want ctxgoroutine
+		work()
+	}()
+}
+
+// Good: WaitGroup-tracked; the spawner can join it.
+func tracked(wg *sync.WaitGroup, work func()) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// Good: cancelable via a done channel.
+func cancelable(done chan struct{}, jobs chan int, work func(int)) {
+	go func() {
+		for {
+			select {
+			case v := <-jobs:
+				work(v)
+			case <-done:
+				return
+			}
+		}
+	}()
+}
+
+// Good: a justified exemption is honored.
+func justified(work func()) {
+	go func() { //geolint:ignore ctxgoroutine fixture demonstrates a justified exemption
+		work()
+	}()
+}

@@ -1,0 +1,43 @@
+// Package fixture exercises the floatcmp rule: ==/!= between float
+// expressions in cost/mapping code are findings; tolerance comparisons,
+// integer equality, constant folding, and justified sentinels are not.
+package fixture
+
+import "math"
+
+const eps = 1e-9
+
+// Bad: two computed α–β costs almost never compare bitwise-equal.
+func sameCost(a, b float64) bool {
+	return a == b // want floatcmp
+}
+
+// Bad: inequality has the same hazard.
+func costChanged(a, b float64) bool {
+	return a != b // want floatcmp
+}
+
+// Good: tolerance comparison.
+func approxEqual(a, b float64) bool {
+	return math.Abs(a-b) <= eps
+}
+
+// Good: integer (site index) equality is exact.
+func sameSite(a, b int) bool {
+	return a == b
+}
+
+// Good: both operands constant — folded exactly at compile time.
+const half = 0.5
+
+var halfIsHalf = half == 0.5
+
+// Good: ordering comparisons are meaningful on floats.
+func cheaper(a, b float64) bool {
+	return a < b
+}
+
+// Good: a justified exact sentinel is honored.
+func isZeroDefault(v float64) bool {
+	return v == 0 //geolint:ignore floatcmp fixture demonstrates a zero-value default sentinel
+}

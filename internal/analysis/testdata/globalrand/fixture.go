@@ -1,0 +1,31 @@
+// Package fixture exercises the globalrand rule: package-level math/rand
+// calls hit the process-global unseeded generator and are findings;
+// injected seeded *rand.Rand use and constructor calls are not.
+package fixture
+
+import "math/rand"
+
+// Bad: global generator mutation, nondeterministic run to run.
+func shuffleGlobal(xs []int) {
+	rand.Shuffle(len(xs), func(a, b int) { xs[a], xs[b] = xs[b], xs[a] }) // want globalrand
+}
+
+// Bad: global draw.
+func drawGlobal() float64 {
+	return rand.Float64() // want globalrand
+}
+
+// Good: an injected seeded generator is the reproducibility contract.
+func drawSeeded(rng *rand.Rand) float64 {
+	return rng.Float64()
+}
+
+// Good: constructors are how the seeded generator is built.
+func newRng(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Good: a justified exemption is honored.
+func legacyDraw() float64 {
+	return rand.Float64() //geolint:ignore globalrand fixture demonstrates a justified exemption
+}

@@ -1,0 +1,42 @@
+// Package fixture exercises the libpanic rule: panics in library
+// functions are findings; Must* helpers, returned errors, and justified
+// invariant annotations are not.
+package fixture
+
+import "fmt"
+
+// Bad: caller-reachable misuse must surface as a returned error.
+func Scale(xs []float64, f float64) {
+	if f < 0 {
+		panic("fixture: negative factor") // want libpanic
+	}
+	for i := range xs {
+		xs[i] *= f
+	}
+}
+
+// Good: the error-returning shape of the same check.
+func ScaleChecked(xs []float64, f float64) error {
+	if f < 0 {
+		return fmt.Errorf("fixture: negative factor %g", f)
+	}
+	for i := range xs {
+		xs[i] *= f
+	}
+	return nil
+}
+
+// Good: Must* helpers are invariant-violation helpers by convention.
+func MustScale(xs []float64, f float64) {
+	if err := ScaleChecked(xs, f); err != nil {
+		panic(err)
+	}
+}
+
+// Good: a justified invariant annotation is honored.
+func index(xs []float64, i int) float64 {
+	if i < 0 || i >= len(xs) {
+		panic("fixture: index out of range") //geolint:ignore libpanic fixture demonstrates a justified invariant
+	}
+	return xs[i]
+}

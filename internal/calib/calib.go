@@ -59,13 +59,13 @@ func (o Options) withDefaults() Options {
 	if o.ProbeBytes == 0 {
 		o.ProbeBytes = 8 << 20
 	}
-	if o.PairProbeSeconds == 0 {
+	if o.PairProbeSeconds == 0 { //geolint:ignore floatcmp zero-value Options default sentinel; 0 is exactly representable
 		o.PairProbeSeconds = 60
 	}
-	if o.InterNoise == 0 {
+	if o.InterNoise == 0 { //geolint:ignore floatcmp zero-value Options default sentinel; 0 is exactly representable
 		o.InterNoise = 0.03
 	}
-	if o.IntraNoise == 0 {
+	if o.IntraNoise == 0 { //geolint:ignore floatcmp zero-value Options default sentinel; 0 is exactly representable
 		o.IntraNoise = 0.10
 	}
 	return o

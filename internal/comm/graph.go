@@ -50,7 +50,7 @@ type Graph struct {
 // It panics if n is negative.
 func NewGraph(n int) *Graph {
 	if n < 0 {
-		panic(fmt.Sprintf("comm: negative process count %d", n))
+		panic(fmt.Sprintf("comm: negative process count %d", n)) //geolint:ignore libpanic negative count is a programmer error, like make() with negative len
 	}
 	g := &Graph{
 		n:   n,
@@ -74,7 +74,7 @@ func (g *Graph) AddTraffic(src, dst int, volume, msgs float64) {
 	g.checkProc(src)
 	g.checkProc(dst)
 	if volume < 0 || msgs < 0 {
-		panic(fmt.Sprintf("comm: negative traffic (%g bytes, %g msgs)", volume, msgs))
+		panic(fmt.Sprintf("comm: negative traffic (%g bytes, %g msgs)", volume, msgs)) //geolint:ignore libpanic trace.Recorder validates sizes; negative traffic is a profiler bug
 	}
 	if src == dst || (volume == 0 && msgs == 0) {
 		return
@@ -97,7 +97,7 @@ func (g *Graph) AddTraffic(src, dst int, volume, msgs float64) {
 
 func (g *Graph) checkProc(i int) {
 	if i < 0 || i >= g.n {
-		panic(fmt.Sprintf("comm: process %d out of range [0,%d)", i, g.n))
+		panic(fmt.Sprintf("comm: process %d out of range [0,%d)", i, g.n)) //geolint:ignore libpanic process bounds mirror slice indexing on the profiling hot path
 	}
 }
 

@@ -59,7 +59,7 @@ func (p *Problem) Diagnose(pl Placement) (*PlacementStats, error) {
 // CrossFraction returns the share of traffic volume crossing the WAN.
 func (s *PlacementStats) CrossFraction() float64 {
 	total := s.IntraVolume + s.CrossVolume
-	if total == 0 {
+	if total == 0 { //geolint:ignore floatcmp exact-zero guard against division by zero on summed non-negative volumes
 		return 0
 	}
 	return s.CrossVolume / total
@@ -85,7 +85,7 @@ func (s *PlacementStats) TopWANFlows(k int) [][3]float64 {
 		}
 	}
 	sort.Slice(flows, func(i, j int) bool {
-		if flows[i].vol != flows[j].vol {
+		if flows[i].vol != flows[j].vol { //geolint:ignore floatcmp sort comparator tie-break; exact equality only collapses identical sums
 			return flows[i].vol > flows[j].vol
 		}
 		if flows[i].from != flows[j].from {

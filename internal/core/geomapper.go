@@ -326,7 +326,7 @@ func (h *heuristicState) fill(orderedGroups [][]int) Placement {
 						continue
 					}
 					a := h.affinity[i]
-					if a > bestA || (a == bestA && next >= 0 && h.quantity[i] > h.quantity[next]) {
+					if a > bestA || (a == bestA && next >= 0 && h.quantity[i] > h.quantity[next]) { //geolint:ignore floatcmp exact tie-break: equal affinities are identical sums (commonly both 0); an epsilon would perturb the mapping
 						next, bestA = i, a
 					}
 				}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"geoprocmap/internal/apps"
+	"geoprocmap/internal/core"
+)
+
+// TestSeedDeterminism is the reproducibility regression the geolint
+// globalrand rule guards: two full pipeline runs — cloud construction,
+// profiling, calibration, constraint sampling, Geo-distributed mapping,
+// cost evaluation — with the same seed on a paper-scale scenario (4 EC2
+// regions × 16 nodes, 64 processes) must produce byte-identical mappings
+// and bit-identical costs. Any global math/rand call anywhere in the
+// pipeline breaks this.
+func TestSeedDeterminism(t *testing.T) {
+	const (
+		n    = 64
+		seed = 42
+	)
+	runOnce := func() (mapping string, costBits uint64) {
+		t.Helper()
+		cloud, err := PaperCloudForScale(n, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m := cloud.M(); m != 4 {
+			t.Fatalf("paper cloud has %d sites, want 4", m)
+		}
+		inst, err := BuildInstance(cloud, apps.NewLU(), n, 10, 0.2, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mapper := &core.GeoMapper{Kappa: 4, Seed: seed}
+		pl, err := mapper.Map(inst.Problem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := inst.Problem.CheckPlacement(pl); err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%v", pl), math.Float64bits(inst.CommCost(pl))
+	}
+
+	m1, c1 := runOnce()
+	m2, c2 := runOnce()
+	if m1 != m2 {
+		t.Errorf("same-seed mappings differ:\n run 1: %s\n run 2: %s", m1, m2)
+	}
+	if c1 != c2 {
+		t.Errorf("same-seed costs differ bitwise: %016x vs %016x", c1, c2)
+	}
+
+	// The baseline measurement (averaged random placements) must be as
+	// reproducible as the mapper itself.
+	cloud, err := PaperCloudForScale(n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := BuildInstance(cloud, apps.NewLU(), n, 10, 0.2, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := inst.BaselineCost(5, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := inst.BaselineCost(5, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(b1) != math.Float64bits(b2) {
+		t.Errorf("same-seed baseline costs differ bitwise: %v vs %v", b1, b2)
+	}
+}

@@ -37,7 +37,7 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
-	if c.ConstraintRatio == 0 {
+	if c.ConstraintRatio == 0 { //geolint:ignore floatcmp zero-value Config default sentinel; 0 is exactly representable
 		c.ConstraintRatio = 0.2
 	}
 	if c.Repeats == 0 {
@@ -294,7 +294,7 @@ func (inst *Instance) MapAndTime(m core.Mapper) (core.Placement, time.Duration, 
 // ImprovementPct is the paper's metric: how much faster v is than the
 // baseline, in percent of the baseline.
 func ImprovementPct(baseline, v float64) float64 {
-	if baseline == 0 {
+	if baseline == 0 { //geolint:ignore floatcmp exact-zero guard against division by zero
 		return 0
 	}
 	return (baseline - v) / baseline * 100

@@ -35,7 +35,7 @@ type Result struct {
 // same dimension.
 func SqDist(a, b Point) float64 {
 	if len(a) != len(b) {
-		panic(fmt.Sprintf("kmeans: dimension mismatch %d vs %d", len(a), len(b)))
+		panic(fmt.Sprintf("kmeans: dimension mismatch %d vs %d", len(a), len(b))) //geolint:ignore libpanic dimension mismatch is a programmer bug on the Lloyd-iteration hot path
 	}
 	var s float64
 	for i := range a {
@@ -144,7 +144,7 @@ func Groups(assignment []int, k int) [][]int {
 	out := make([][]int, k)
 	for i, c := range assignment {
 		if c < 0 || c >= k {
-			panic(fmt.Sprintf("kmeans: assignment[%d]=%d out of range [0,%d)", i, c, k))
+			panic(fmt.Sprintf("kmeans: assignment[%d]=%d out of range [0,%d)", i, c, k)) //geolint:ignore libpanic assignments come from Cluster, which only emits in-range clusters
 		}
 		out[c] = append(out[c], i)
 	}

@@ -32,7 +32,9 @@ type Matrix struct {
 // It panics if either dimension is negative.
 func New(rows, cols int) *Matrix {
 	if rows < 0 || cols < 0 {
-		panic(fmt.Sprintf("mat: invalid dimensions %d×%d", rows, cols))
+		// Negative dimensions are a programmer error, mirroring make()
+		// semantics; parsing paths (Read) validate before calling New.
+		panic(fmt.Sprintf("mat: invalid dimensions %d×%d", rows, cols)) //geolint:ignore libpanic negative dims are a programmer error, like make() with negative len
 	}
 	return &Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}
 }
@@ -95,7 +97,9 @@ func (m *Matrix) Add(i, j int, v float64) {
 
 func (m *Matrix) check(i, j int) {
 	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
-		panic(fmt.Sprintf("mat: index (%d,%d) out of range for %d×%d matrix", i, j, m.rows, m.cols))
+		// At/Set/Add sit on the cost-evaluation hot path; bounds violations
+		// are programmer bugs, reported like slice-index panics.
+		panic(fmt.Sprintf("mat: index (%d,%d) out of range for %d×%d matrix", i, j, m.rows, m.cols)) //geolint:ignore libpanic index bounds mirror built-in slice indexing on the cost hot path
 	}
 }
 
@@ -123,7 +127,7 @@ func (m *Matrix) Scale(f float64) {
 // Row returns a copy of row i.
 func (m *Matrix) Row(i int) []float64 {
 	if i < 0 || i >= m.rows {
-		panic(fmt.Sprintf("mat: row %d out of range for %d×%d matrix", i, m.rows, m.cols))
+		panic(fmt.Sprintf("mat: row %d out of range for %d×%d matrix", i, m.rows, m.cols)) //geolint:ignore libpanic index bounds mirror built-in slice indexing
 	}
 	out := make([]float64, m.cols)
 	copy(out, m.data[i*m.cols:(i+1)*m.cols])
@@ -133,7 +137,7 @@ func (m *Matrix) Row(i int) []float64 {
 // RowSum returns the sum of row i.
 func (m *Matrix) RowSum(i int) float64 {
 	if i < 0 || i >= m.rows {
-		panic(fmt.Sprintf("mat: row %d out of range for %d×%d matrix", i, m.rows, m.cols))
+		panic(fmt.Sprintf("mat: row %d out of range for %d×%d matrix", i, m.rows, m.cols)) //geolint:ignore libpanic index bounds mirror built-in slice indexing
 	}
 	var s float64
 	for _, v := range m.data[i*m.cols : (i+1)*m.cols] {
@@ -145,7 +149,7 @@ func (m *Matrix) RowSum(i int) float64 {
 // ColSum returns the sum of column j.
 func (m *Matrix) ColSum(j int) float64 {
 	if j < 0 || j >= m.cols {
-		panic(fmt.Sprintf("mat: column %d out of range for %d×%d matrix", j, m.rows, m.cols))
+		panic(fmt.Sprintf("mat: column %d out of range for %d×%d matrix", j, m.rows, m.cols)) //geolint:ignore libpanic index bounds mirror built-in slice indexing
 	}
 	var s float64
 	for i := 0; i < m.rows; i++ {
@@ -178,11 +182,12 @@ func (m *Matrix) Max() float64 {
 }
 
 // MaxOffDiagonal returns the maximum element outside the main diagonal of a
-// square matrix, together with its position. It returns (0, -1, -1) if the
-// matrix has no off-diagonal elements.
-func (m *Matrix) MaxOffDiagonal() (v float64, row, col int) {
+// square matrix, together with its position. It returns (0, -1, -1, nil) if
+// the matrix has no off-diagonal elements, and an error for a non-square
+// matrix (which can arrive from user input via Read).
+func (m *Matrix) MaxOffDiagonal() (v float64, row, col int, err error) {
 	if !m.IsSquare() {
-		panic("mat: MaxOffDiagonal requires a square matrix")
+		return 0, -1, -1, fmt.Errorf("mat: MaxOffDiagonal requires a square matrix, have %d×%d", m.rows, m.cols)
 	}
 	row, col = -1, -1
 	v = math.Inf(-1)
@@ -197,9 +202,9 @@ func (m *Matrix) MaxOffDiagonal() (v float64, row, col int) {
 		}
 	}
 	if row == -1 {
-		return 0, -1, -1
+		return 0, -1, -1, nil
 	}
-	return v, row, col
+	return v, row, col, nil
 }
 
 // AddMatrix adds other to m in place. The matrices must have equal dimensions.
@@ -213,10 +218,11 @@ func (m *Matrix) AddMatrix(other *Matrix) error {
 	return nil
 }
 
-// Symmetrize replaces m with (m + mᵀ)/2. The matrix must be square.
-func (m *Matrix) Symmetrize() {
+// Symmetrize replaces m with (m + mᵀ)/2. It returns an error for a
+// non-square matrix (which can arrive from user input via Read).
+func (m *Matrix) Symmetrize() error {
 	if !m.IsSquare() {
-		panic("mat: Symmetrize requires a square matrix")
+		return fmt.Errorf("mat: Symmetrize requires a square matrix, have %d×%d", m.rows, m.cols)
 	}
 	for i := 0; i < m.rows; i++ {
 		for j := i + 1; j < m.cols; j++ {
@@ -225,6 +231,7 @@ func (m *Matrix) Symmetrize() {
 			m.data[j*m.cols+i] = avg
 		}
 	}
+	return nil
 }
 
 // IsSymmetric reports whether a square matrix equals its transpose to within

@@ -144,13 +144,19 @@ func TestMaxOffDiagonal(t *testing.T) {
 		{4, 100, 6},
 		{7, 5, 100},
 	})
-	v, i, j := m.MaxOffDiagonal()
+	v, i, j, err := m.MaxOffDiagonal()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if v != 7 || i != 2 || j != 0 {
 		t.Errorf("MaxOffDiagonal = (%v,%d,%d), want (7,2,0)", v, i, j)
 	}
 	one := NewSquare(1)
-	if v, i, j := one.MaxOffDiagonal(); v != 0 || i != -1 || j != -1 {
-		t.Errorf("1×1 MaxOffDiagonal = (%v,%d,%d), want (0,-1,-1)", v, i, j)
+	if v, i, j, err := one.MaxOffDiagonal(); err != nil || v != 0 || i != -1 || j != -1 {
+		t.Errorf("1×1 MaxOffDiagonal = (%v,%d,%d,%v), want (0,-1,-1,nil)", v, i, j, err)
+	}
+	if _, _, _, err := New(2, 3).MaxOffDiagonal(); err == nil {
+		t.Error("MaxOffDiagonal on a 2×3 matrix: want error")
 	}
 }
 
@@ -173,12 +179,17 @@ func TestSymmetrizeAndIsSymmetric(t *testing.T) {
 	if m.IsSymmetric(0) {
 		t.Error("asymmetric matrix reported symmetric")
 	}
-	m.Symmetrize()
+	if err := m.Symmetrize(); err != nil {
+		t.Fatal(err)
+	}
 	if !m.IsSymmetric(1e-12) {
 		t.Error("Symmetrize did not produce a symmetric matrix")
 	}
 	if m.At(0, 1) != 3 || m.At(1, 0) != 3 {
 		t.Errorf("symmetrized off-diagonal = %v/%v, want 3/3", m.At(0, 1), m.At(1, 0))
+	}
+	if err := New(2, 3).Symmetrize(); err == nil {
+		t.Error("Symmetrize on a 2×3 matrix: want error")
 	}
 	if New(2, 3).IsSymmetric(0) {
 		t.Error("non-square matrix reported symmetric")
@@ -281,7 +292,9 @@ func TestQuickSymmetrize(t *testing.T) {
 			}
 		}
 		before := m.Sum()
-		m.Symmetrize()
+		if err := m.Symmetrize(); err != nil {
+			return false
+		}
 		if !m.IsSymmetric(1e-9) {
 			return false
 		}
@@ -289,7 +302,9 @@ func TestQuickSymmetrize(t *testing.T) {
 			return false
 		}
 		again := m.Clone()
-		again.Symmetrize()
+		if err := again.Symmetrize(); err != nil {
+			return false
+		}
 		return again.Equal(m, 1e-12)
 	}
 	if err := quick.Check(f, nil); err != nil {

@@ -32,6 +32,7 @@ package mpi
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"geoprocmap/internal/netmodel"
 	"geoprocmap/internal/trace"
@@ -176,13 +177,18 @@ func (c *Comm) Recv(src, tag int) error {
 
 func (c *Comm) block(r *request) error {
 	r.resume = make(chan float64)
-	c.sched.yieldCh[c.rank] <- r
-	t, ok := <-r.resume
-	if !ok {
+	select {
+	case c.sched.yieldCh[c.rank] <- r:
+	case <-c.sched.done:
 		return fmt.Errorf("mpi: rank %d: run aborted", c.rank)
 	}
-	c.clock = t
-	return nil
+	select {
+	case t := <-r.resume:
+		c.clock = t
+		return nil
+	case <-c.sched.done:
+		return fmt.Errorf("mpi: rank %d: run aborted", c.rank)
+	}
 }
 
 // Run executes the program on every rank and returns the run's timing and
@@ -221,6 +227,12 @@ type scheduler struct {
 	yieldCh []chan *request
 	rec     *trace.Recorder
 	seq     int64
+	// done is closed exactly once when the run finishes (normally, on
+	// abort, or on deadlock); every rank goroutine selects on it at each
+	// blocking point, so no goroutine can outlive run.
+	done chan struct{}
+	// wg tracks the rank goroutines; run joins them before returning.
+	wg sync.WaitGroup
 }
 
 func newScheduler(w *World) *scheduler {
@@ -228,12 +240,21 @@ func newScheduler(w *World) *scheduler {
 		world:   w,
 		rec:     trace.NewRecorder(w.N()),
 		yieldCh: make([]chan *request, w.N()),
+		done:    make(chan struct{}),
 	}
 }
 
 func (s *scheduler) run(p Program) (*Result, error) {
 	n := s.world.N()
 	s.ranks = make([]*rankState, n)
+	// Close done on every exit path, then join the rank goroutines: each
+	// one selects on done at its start gate, at every blocking operation,
+	// and at its final yield, so Run never leaks a goroutine — not on
+	// normal completion, not on abort, not on deadlock.
+	defer func() {
+		close(s.done)
+		s.wg.Wait()
+	}()
 	for i := 0; i < n; i++ {
 		st := &rankState{
 			comm:  &Comm{rank: i, world: s.world, sched: s},
@@ -241,14 +262,24 @@ func (s *scheduler) run(p Program) (*Result, error) {
 		}
 		s.ranks[i] = st
 		s.yieldCh[i] = make(chan *request)
+		s.wg.Add(1)
 		go func(st *rankState, i int) {
-			<-st.start
+			defer s.wg.Done()
+			select {
+			case <-st.start:
+			case <-s.done:
+				return
+			}
 			err := p(st.comm)
 			kind := opExit
 			if err != nil {
 				kind = opErr
 			}
-			s.yieldCh[i] <- &request{kind: kind, rank: i, err: err, clock: st.comm.clock}
+			final := &request{kind: kind, rank: i, err: err, clock: st.comm.clock}
+			select {
+			case s.yieldCh[i] <- final:
+			case <-s.done:
+			}
 		}(st, i)
 	}
 
@@ -305,27 +336,9 @@ func (s *scheduler) run(p Program) (*Result, error) {
 		s.matchAll()
 	}
 
-	// Abort path: release parked ranks and drain their final yields so the
-	// goroutines terminate.
-	for i, st := range s.ranks {
-		if st.done {
-			continue
-		}
-		var ch chan float64
-		switch {
-		case st.pending != nil:
-			ch = st.pending.resume
-			st.pending = nil
-		case st.ready != nil:
-			ch = st.ready.resume
-			st.ready = nil
-		}
-		if ch != nil {
-			close(ch)
-			go func(i int) { <-s.yieldCh[i] }(i)
-		}
-		st.done = true
-	}
+	// Abort path: the deferred close(done) releases every parked rank —
+	// blocked senders and receivers return an abort error from their
+	// pending operation — and wg.Wait joins them.
 	if firstErr != nil {
 		return nil, firstErr
 	}

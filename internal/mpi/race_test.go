@@ -1,0 +1,166 @@
+package mpi
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"geoprocmap/internal/geo"
+	"geoprocmap/internal/mat"
+	"geoprocmap/internal/netmodel"
+)
+
+// These tests exist to put the runtime's goroutine machinery — the
+// per-rank goroutines spawned in scheduler.run and the done-channel
+// shutdown added for the ctxgoroutine contract — under the race detector
+// and under leak scrutiny. Run them with:
+//
+//	go test -race ./internal/mpi/...
+
+// ringProgram sends a token around the ring `laps` times: each rank
+// receives from its left neighbor and sends to its right one.
+func ringProgram(laps int) Program {
+	return func(c *Comm) error {
+		n := c.Size()
+		left := (c.Rank() - 1 + n) % n
+		right := (c.Rank() + 1) % n
+		for lap := 0; lap < laps; lap++ {
+			if c.Rank() == 0 {
+				if err := c.Send(right, 1<<10, lap); err != nil {
+					return err
+				}
+				if err := c.Recv(left, lap); err != nil {
+					return err
+				}
+			} else {
+				if err := c.Recv(left, lap); err != nil {
+					return err
+				}
+				if err := c.Send(right, 1<<10, lap); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+}
+
+// TestConcurrentWorldsStress runs many independent Worlds in parallel,
+// each with concurrent rank sends/receives, and checks that every run of
+// the same program on the same placement produces the identical virtual
+// makespan. Shared mutable state anywhere in the scheduler would trip the
+// race detector here; nondeterminism would trip the makespan comparison.
+func TestConcurrentWorldsStress(t *testing.T) {
+	w := testWorld(t)
+	ref, err := w.Run(ringProgram(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 8; j++ {
+				res, err := testWorldNoT().Run(ringProgram(8))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if math.Float64bits(res.Elapsed) != math.Float64bits(ref.Elapsed) {
+					errs <- fmt.Errorf("makespan %v differs from reference %v", res.Elapsed, ref.Elapsed)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// testWorldNoT builds the standard 2×2 test world without a *testing.T so
+// worker goroutines can construct fresh, independent instances.
+func testWorldNoT() *World {
+	cloud := &netmodel.Cloud{
+		Provider: netmodel.AmazonEC2,
+		Instance: netmodel.InstanceType{Name: "test", IntraBWMBps: 100, CrossBWScale: 1},
+		Sites: []netmodel.Site{
+			{Region: geo.MustRegion(geo.EC2Regions, "us-east-1"), Nodes: 2},
+			{Region: geo.MustRegion(geo.EC2Regions, "ap-southeast-1"), Nodes: 2},
+		},
+		LT: mat.MustFrom([][]float64{{0.001, 0.1}, {0.1, 0.001}}),
+		BT: mat.MustFrom([][]float64{{100e6, 10e6}, {10e6, 100e6}}),
+	}
+	w, err := NewWorld(cloud, []int{0, 0, 1, 1})
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// TestAbortJoinsGoroutines checks the shutdown contract: when a rank
+// errors mid-run (other ranks parked on unmatched operations), Run must
+// return after joining every rank goroutine — no leaks that would
+// accumulate across an experiment sweep.
+func TestAbortJoinsGoroutines(t *testing.T) {
+	w := testWorld(t)
+	baseline := runtime.NumGoroutine()
+	for i := 0; i < 200; i++ {
+		_, err := w.Run(func(c *Comm) error {
+			if c.Rank() == 3 {
+				return fmt.Errorf("rank 3 failed")
+			}
+			// Ranks 0-2 park on receives that will never match.
+			return c.Recv(AnySource, AnyTag)
+		})
+		if err == nil || !strings.Contains(err.Error(), "rank 3 failed") {
+			t.Fatalf("run %d: err = %v, want rank 3 failure", i, err)
+		}
+	}
+	// Run joins its goroutines before returning, so the count must settle
+	// back to the baseline (allow slack for runtime background threads).
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= baseline+5 {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d now vs %d at baseline", g, baseline)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestDeadlockJoinsGoroutines checks the same contract on the deadlock
+// path: everyone blocked on unmatched receives must be released and
+// joined when Run reports the deadlock.
+func TestDeadlockJoinsGoroutines(t *testing.T) {
+	w := testWorld(t)
+	baseline := runtime.NumGoroutine()
+	for i := 0; i < 100; i++ {
+		_, err := w.Run(func(c *Comm) error {
+			return c.Recv(AnySource, AnyTag)
+		})
+		if err == nil || !strings.Contains(err.Error(), "deadlock") {
+			t.Fatalf("run %d: err = %v, want deadlock", i, err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= baseline+5 {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d now vs %d at baseline", g, baseline)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -179,7 +179,7 @@ func NewCloud(p *Provider, instanceType string, sites []Site, opt Options) (*Clo
 	lt := mat.NewSquare(m)
 	bt := mat.NewSquare(m)
 	jitter := opt.Jitter
-	if jitter == 0 {
+	if jitter == 0 { //geolint:ignore floatcmp zero-value Options default sentinel; 0 is exactly representable
 		jitter = 0.02
 	}
 	rng := stats.NewRand(opt.Seed)
@@ -259,7 +259,7 @@ func (c *Cloud) Coordinates() []geo.LatLon {
 // out in order) to its site index.
 func (c *Cloud) SiteOfNode(node int) int {
 	if node < 0 {
-		panic(fmt.Sprintf("netmodel: negative node index %d", node))
+		panic(fmt.Sprintf("netmodel: negative node index %d", node)) //geolint:ignore libpanic node indices are generated from the cloud's own layout
 	}
 	for i, s := range c.Sites {
 		if node < s.Nodes {
@@ -267,14 +267,14 @@ func (c *Cloud) SiteOfNode(node int) int {
 		}
 		node -= s.Nodes
 	}
-	panic(fmt.Sprintf("netmodel: node index beyond total capacity"))
+	panic(fmt.Sprintf("netmodel: node index beyond total capacity")) //geolint:ignore libpanic node indices are generated from the cloud's own layout
 }
 
 // TransferTime is the α–β model (Section 3.1): the time to move n bytes
 // over a link with latency alphaSec and bandwidth betaBytesPerSec.
 func TransferTime(n float64, alphaSec, betaBytesPerSec float64) float64 {
 	if betaBytesPerSec <= 0 {
-		panic("netmodel: nonpositive bandwidth in TransferTime")
+		panic("netmodel: nonpositive bandwidth in TransferTime") //geolint:ignore libpanic bandwidths are validated positive at Cloud construction
 	}
 	return alphaSec + n/betaBytesPerSec
 }

@@ -1,0 +1,78 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"geoprocmap/internal/trace"
+)
+
+// TestConcurrentReplayMatchesFreshRun hammers a single shared Simulator
+// with concurrent ReplayTrace and SimulatePhase calls and checks every
+// result bitwise against a sequential fresh-run reference. Both entry
+// points are meant to be read-only on the Simulator, so this passes under
+// go test -race only if they really keep all mutable state on the stack.
+func TestConcurrentReplayMatchesFreshRun(t *testing.T) {
+	shared := testSim(t)
+
+	events := []trace.Event{
+		{Src: 0, Dst: 2, Bytes: 4 << 20},
+		{Src: 1, Dst: 3, Bytes: 4 << 20},
+		{Src: 2, Dst: 0, Bytes: 1 << 20},
+		{Src: 3, Dst: 1, Bytes: 1 << 20},
+		{Src: 0, Dst: 1, Bytes: 8 << 20},
+		{Src: 2, Dst: 3, Bytes: 8 << 20},
+	}
+	msgs := []Message{
+		{Src: 0, Dst: 2, Bytes: 4 << 20},
+		{Src: 1, Dst: 3, Bytes: 4 << 20},
+		{Src: 3, Dst: 0, Bytes: 2 << 20},
+	}
+
+	// Sequential references on fresh simulators.
+	refReplay, err := testSim(t).ReplayTrace(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refPhase, err := testSim(t).SimulatePhase(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				got, err := shared.ReplayTrace(events)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if math.Float64bits(got) != math.Float64bits(refReplay) {
+					errs <- fmt.Errorf("concurrent replay span %v differs from fresh-run %v", got, refReplay)
+					return
+				}
+				got, err = shared.SimulatePhase(msgs)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if math.Float64bits(got) != math.Float64bits(refPhase) {
+					errs <- fmt.Errorf("concurrent phase makespan %v differs from fresh-run %v", got, refPhase)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

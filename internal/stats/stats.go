@@ -82,10 +82,10 @@ func Max(xs []float64) float64 {
 // p outside [0, 100].
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
-		panic("stats: Percentile of empty slice")
+		panic("stats: Percentile of empty slice") //geolint:ignore libpanic documented contract: empty-sample percentile mirrors slice indexing
 	}
 	if p < 0 || p > 100 {
-		panic(fmt.Sprintf("stats: percentile %v out of range [0,100]", p))
+		panic(fmt.Sprintf("stats: percentile %v out of range [0,100]", p)) //geolint:ignore libpanic documented contract: out-of-domain p is a programmer error
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
@@ -132,10 +132,10 @@ func (c *CDF) At(x float64) float64 {
 // q in (0, 1]. It panics on an empty CDF or q outside (0, 1].
 func (c *CDF) Quantile(q float64) float64 {
 	if len(c.sorted) == 0 {
-		panic("stats: Quantile of empty CDF")
+		panic("stats: Quantile of empty CDF") //geolint:ignore libpanic documented contract: empty-CDF quantile mirrors slice indexing
 	}
 	if q <= 0 || q > 1 {
-		panic(fmt.Sprintf("stats: quantile %v out of range (0,1]", q))
+		panic(fmt.Sprintf("stats: quantile %v out of range (0,1]", q)) //geolint:ignore libpanic documented contract: out-of-domain q is a programmer error
 	}
 	idx := int(math.Ceil(q*float64(len(c.sorted)))) - 1
 	if idx < 0 {
@@ -181,7 +181,7 @@ func Normalize(xs []float64) []float64 {
 // n < 0. Heap's algorithm, so the number of calls is n! — callers bound n.
 func Permutations(n int, fn func(perm []int) bool) {
 	if n < 0 {
-		panic("stats: Permutations of negative n")
+		panic("stats: Permutations of negative n") //geolint:ignore libpanic documented contract: negative n is a programmer error
 	}
 	perm := make([]int, n)
 	for i := range perm {
@@ -217,7 +217,7 @@ func Permutations(n int, fn func(perm []int) bool) {
 // negative n.
 func Factorial(n int) float64 {
 	if n < 0 {
-		panic("stats: Factorial of negative n")
+		panic("stats: Factorial of negative n") //geolint:ignore libpanic documented contract: negative n is a programmer error
 	}
 	f := 1.0
 	for i := 2; i <= n; i++ {

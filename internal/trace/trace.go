@@ -35,7 +35,7 @@ type Recorder struct {
 // NewRecorder returns a Recorder for an n-process program.
 func NewRecorder(n int) *Recorder {
 	if n <= 0 {
-		panic(fmt.Sprintf("trace: invalid process count %d", n))
+		panic(fmt.Sprintf("trace: invalid process count %d", n)) //geolint:ignore libpanic process count comes from validated World construction
 	}
 	return &Recorder{n: n, byProc: make([][]int, n)}
 }
@@ -78,7 +78,7 @@ func (r *Recorder) Events() []Event { return r.events }
 // ProcessEvents returns the events sent by process src, in order.
 func (r *Recorder) ProcessEvents(src int) []Event {
 	if src < 0 || src >= r.n {
-		panic(fmt.Sprintf("trace: process %d out of range", src))
+		panic(fmt.Sprintf("trace: process %d out of range", src)) //geolint:ignore libpanic process bounds mirror slice indexing
 	}
 	out := make([]Event, len(r.byProc[src]))
 	for i, idx := range r.byProc[src] {
