@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race check
+.PHONY: all build vet lint test race faults check
 
 all: check
 
@@ -24,4 +24,10 @@ test:
 race:
 	$(GO) test -race ./internal/mpi/... ./internal/netsim/...
 
-check: build vet lint test race
+# Fault-injection smoke: replay LU through the FlakyWAN preset and run the
+# failure-aware remap path end to end (internal/faults + netsim faulty
+# engines + core.Remap). Must terminate without hangs or leaks.
+faults:
+	$(GO) run ./cmd/geosim -app LU -n 64 -faults FlakyWAN
+
+check: build vet lint test race faults

@@ -7,6 +7,12 @@
 //	geocalibrate                               # paper's 4-region EC2 cloud
 //	geocalibrate -provider azure -regions east-us,west-europe,japan-east -instance Standard_D2
 //	geocalibrate -nodes 128 -days 7
+//	geocalibrate -faults FlakyWAN              # probe through WAN chaos
+//
+// With -faults, the probes run against the named preset (or JSON schedule
+// file): dead links time out and are retried with capped exponential
+// backoff, outliers are rejected by a trimmed mean, and the output reports
+// the degraded site pairs plus the retry-aware overhead.
 package main
 
 import (
@@ -16,18 +22,20 @@ import (
 	"strings"
 
 	"geoprocmap/internal/calib"
+	"geoprocmap/internal/faults"
 	"geoprocmap/internal/netmodel"
 )
 
 func main() {
 	var (
-		provider = flag.String("provider", "ec2", "cloud provider: ec2 or azure")
-		regions  = flag.String("regions", strings.Join(netmodel.PaperEC2Regions, ","), "comma-separated regions")
-		instance = flag.String("instance", "m4.xlarge", "instance type")
-		nodes    = flag.Int("nodes", 16, "nodes per site (for the overhead comparison)")
-		days     = flag.Int("days", 3, "days of repeated measurement")
-		samples  = flag.Int("samples", 10, "samples per day per site pair")
-		seed     = flag.Int64("seed", 1, "random seed")
+		provider  = flag.String("provider", "ec2", "cloud provider: ec2 or azure")
+		regions   = flag.String("regions", strings.Join(netmodel.PaperEC2Regions, ","), "comma-separated regions")
+		instance  = flag.String("instance", "m4.xlarge", "instance type")
+		nodes     = flag.Int("nodes", 16, "nodes per site (for the overhead comparison)")
+		days      = flag.Int("days", 3, "days of repeated measurement")
+		samples   = flag.Int("samples", 10, "samples per day per site pair")
+		seed      = flag.Int64("seed", 1, "random seed")
+		faultSpec = flag.String("faults", "", "fault schedule: a preset name ("+fmt.Sprint(faults.PresetNames())+") or a JSON file")
 	)
 	flag.Parse()
 
@@ -44,7 +52,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := calib.Calibrate(cloud, calib.Options{Days: *days, SamplesPerDay: *samples, Seed: *seed})
+	sched, err := faults.FromSpec(*faultSpec, cloud.M(), *seed)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := calib.Calibrate(cloud, calib.Options{Days: *days, SamplesPerDay: *samples, Seed: *seed, Faults: sched})
 	if err != nil {
 		fatal(err)
 	}
@@ -71,6 +83,21 @@ func main() {
 	fmt.Printf("\ncalibration overhead (1 min/session):\n")
 	fmt.Printf("  site pairs (this tool):  %.0f minutes (%d sessions)\n", res.OverheadSeconds/60, res.SitePairSessions)
 	fmt.Printf("  all node pairs:          %.1f days (%d nodes)\n", allPairs/86400, cloud.TotalNodes())
+
+	if sched != nil {
+		fmt.Printf("\nfault schedule %q:\n", sched.Name)
+		fmt.Printf("  retries: %d, failed samples: %d, retry time: %.1f s (included in overhead)\n",
+			res.Retries, res.FailedSamples, res.RetrySeconds)
+		pairs := res.DegradedPairs()
+		if len(pairs) == 0 {
+			fmt.Println("  no site pair lost samples — backoff retries absorbed every fault window")
+		} else {
+			fmt.Printf("  degraded site pairs (lost samples, estimates less trustworthy):\n")
+			for _, pr := range pairs {
+				fmt.Printf("    %s → %s\n", cloud.Sites[pr[0]].Region.Name, cloud.Sites[pr[1]].Region.Name)
+			}
+		}
+	}
 }
 
 func fatal(err error) {

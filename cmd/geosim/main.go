@@ -6,6 +6,13 @@
 //
 //	geosim -app LU -n 64                       # geo mapper, replay engine
 //	geosim -app K-means -n 256 -algo greedy -engine fluid
+//	geosim -app LU -n 64 -faults SiteBlackout  # WAN chaos + failure-aware remap
+//
+// With -faults, the tool additionally replays the workload under the named
+// fault preset (or a JSON schedule file), prints the structured fault
+// report, and compares the stale placement against the failure-aware
+// remapping computed by core.Remap. The cloud then carries capacity
+// headroom (ceil(n/3) nodes per region) so a site blackout is survivable.
 package main
 
 import (
@@ -17,18 +24,20 @@ import (
 	"geoprocmap/internal/baselines"
 	"geoprocmap/internal/core"
 	"geoprocmap/internal/experiments"
+	"geoprocmap/internal/faults"
 )
 
 func main() {
 	var (
-		appName = flag.String("app", "LU", "workload: LU, BT, SP, K-means, DNN")
-		n       = flag.Int("n", 64, "number of processes (multiple of 4)")
-		algo    = flag.String("algo", "geo", "mapper: geo, greedy, mpipp, random")
-		engine  = flag.String("engine", "replay", "simulation engine: replay, fluid, ps")
-		iters   = flag.Int("iters", 0, "iterations (0 = workload default)")
-		ratio   = flag.Float64("constraints", 0.2, "data-movement constraint ratio")
-		repeats = flag.Int("repeats", 10, "random baselines averaged")
-		seed    = flag.Int64("seed", 1, "random seed")
+		appName   = flag.String("app", "LU", "workload: LU, BT, SP, K-means, DNN")
+		n         = flag.Int("n", 64, "number of processes (multiple of 4)")
+		algo      = flag.String("algo", "geo", "mapper: geo, greedy, mpipp, random")
+		engine    = flag.String("engine", "replay", "simulation engine: replay, fluid, ps")
+		iters     = flag.Int("iters", 0, "iterations (0 = workload default)")
+		ratio     = flag.Float64("constraints", 0.2, "data-movement constraint ratio")
+		repeats   = flag.Int("repeats", 10, "random baselines averaged")
+		seed      = flag.Int64("seed", 1, "random seed")
+		faultSpec = flag.String("faults", "", "fault schedule: a preset name ("+fmt.Sprint(faults.PresetNames())+") or a JSON file")
 	)
 	flag.Parse()
 
@@ -41,6 +50,11 @@ func main() {
 		it = app.DefaultIters()
 	}
 	cloud, err := experiments.PaperCloudForScale(*n, *seed)
+	if *faultSpec != "" {
+		// Faults need capacity headroom: a blackout must leave enough
+		// surviving slots to rehost every process.
+		cloud, err = experiments.HeadroomCloudForScale(*n, *seed)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -95,6 +109,47 @@ func main() {
 	fmt.Printf("%-22s %12.2f %12.2f %12.2f\n\n", mapper.Name(), res.ComputeSeconds, res.CommSeconds, res.Total())
 	fmt.Printf("communication improvement: %.1f%%\n", experiments.ImprovementPct(base.CommSeconds, res.CommSeconds))
 	fmt.Printf("overall improvement:       %.1f%%\n", experiments.ImprovementPct(base.Total(), res.Total()+dur.Seconds()))
+
+	if *faultSpec != "" {
+		if err := runFaulty(inst, pl, *faultSpec, *seed); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// runFaulty replays the mapped placement under the fault schedule, prints
+// the structured report, and compares against the failure-aware remapping.
+func runFaulty(inst *experiments.Instance, stale core.Placement, spec string, seed int64) error {
+	sched, err := faults.FromSpec(spec, inst.Cloud.M(), seed)
+	if err != nil {
+		return err
+	}
+	staleRes, staleRep, err := inst.SimulateFaultyReplay(stale, sched, experiments.FaultStart)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n-- fault injection: %s (replay engine, t₀ = %g s) --\n", sched.Name, experiments.FaultStart)
+	fmt.Printf("fault report (stale placement): %s\n", staleRep)
+	fmt.Printf("stale comm under faults:        %.2f s\n", staleRes.CommSeconds)
+
+	remap, err := core.Remap(inst.Problem, stale, staleRep, core.RemapOptions{})
+	if err != nil {
+		return err
+	}
+	if len(remap.Migrated) == 0 {
+		fmt.Println("failure-aware remap:            no dead sites — placement unchanged")
+		return nil
+	}
+	repairedRes, repairedRep, err := inst.SimulateFaultyReplay(remap.Placement, sched, experiments.FaultStart)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("failure-aware remap:            migrated %d processes in %.1f s\n", len(remap.Migrated), remap.MigrationSeconds)
+	fmt.Printf("fault report (remapped):        %s\n", repairedRep)
+	fmt.Printf("remapped comm under faults:     %.2f s\n", repairedRes.CommSeconds)
+	fmt.Printf("recovery:                       %.1f%% of the stale communication time\n",
+		experiments.ImprovementPct(staleRes.CommSeconds, repairedRes.CommSeconds))
+	return nil
 }
 
 func fatal(err error) {

@@ -80,6 +80,7 @@ func DefaultRules() []Rule {
 		&LibPanicRule{},
 		&FloatCmpRule{},
 		&CtxGoroutineRule{},
+		&SleepRetryRule{},
 	}
 }
 

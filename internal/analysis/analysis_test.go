@@ -26,6 +26,7 @@ func TestRuleGolden(t *testing.T) {
 		{"libpanic", "geoprocmap/internal/fixture", &LibPanicRule{}},
 		{"floatcmp", "geoprocmap/internal/core/fixture", &FloatCmpRule{}},
 		{"ctxgoroutine", "geoprocmap/internal/mpi/fixture", &CtxGoroutineRule{}},
+		{"sleepretry", "geoprocmap/internal/fixture", &SleepRetryRule{}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

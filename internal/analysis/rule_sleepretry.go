@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SleepRetryRule flags bare time.Sleep calls inside for-loops in internal
+// packages. A sleep inside a loop is almost always a retry/poll wait, and a
+// hard-coded duration there is how unbounded, un-jittered busy-waits creep
+// in. Retry waits must derive their duration from the shared
+// capped-exponential helper (faults.Backoff and friends) — the rule accepts
+// any sleep whose argument mentions a backoff-named call or identifier.
+type SleepRetryRule struct{}
+
+func (*SleepRetryRule) ID() string { return "sleepretry" }
+
+func (*SleepRetryRule) Doc() string {
+	return "time.Sleep in a retry loop must take its duration from the shared backoff helper (faults.Backoff)"
+}
+
+func (r *SleepRetryRule) Check(p *Pass) []Finding {
+	if !inInternal(p) {
+		return nil
+	}
+	var out []Finding
+	for _, sf := range p.Files {
+		local := importName(sf.AST, "time")
+		if local == "" || local == "_" || local == "." {
+			continue
+		}
+		if sf.Test {
+			continue
+		}
+		ast.Inspect(sf.AST, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch loop := n.(type) {
+			case *ast.ForStmt:
+				body = loop.Body
+			case *ast.RangeStmt:
+				body = loop.Body
+			default:
+				return true
+			}
+			ast.Inspect(body, func(m ast.Node) bool {
+				switch m.(type) {
+				case *ast.ForStmt, *ast.RangeStmt:
+					// Reported when the outer walk reaches the nested loop.
+					return false
+				}
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Sleep" {
+					return true
+				}
+				id, ok := sel.X.(*ast.Ident)
+				if !ok || id.Name != local {
+					return true
+				}
+				if p.Info != nil {
+					if obj, ok := p.Info.Uses[id]; ok {
+						if _, isPkg := obj.(*types.PkgName); !isPkg {
+							return true
+						}
+					}
+				}
+				if len(call.Args) == 1 && mentionsBackoff(call.Args[0]) {
+					return true
+				}
+				out = append(out, Finding{
+					Rule: "sleepretry",
+					Pos:  p.position(call.Pos()),
+					Message: "bare time.Sleep in a retry loop: derive the wait from the shared " +
+						"capped-exponential helper (faults.Backoff) so retries stay bounded and jittered",
+				})
+				return true
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// mentionsBackoff reports whether the expression references a
+// backoff-derived duration: any identifier or selector in it whose name
+// contains "backoff" (case-insensitive).
+func mentionsBackoff(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && strings.Contains(strings.ToLower(id.Name), "backoff") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

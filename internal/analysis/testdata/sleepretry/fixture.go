@@ -1,0 +1,55 @@
+// Package fixture exercises the sleepretry rule: bare time.Sleep calls in
+// retry loops are flagged; waits derived from a backoff helper, sleeps
+// outside loops, and justified ignores are not.
+package fixture
+
+import "time"
+
+// backoff stands in for faults.Backoff in this self-contained fixture.
+func backoff(attempt int) time.Duration {
+	return time.Duration(attempt+1) * time.Millisecond
+}
+
+func retryBare() {
+	for i := 0; i < 3; i++ {
+		time.Sleep(100 * time.Millisecond) // want sleepretry
+	}
+}
+
+func retryRange(items []int) {
+	for range items {
+		time.Sleep(time.Second) // want sleepretry
+	}
+}
+
+func retryNested() {
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			time.Sleep(time.Millisecond) // want sleepretry
+		}
+	}
+}
+
+func retryWithBackoffCall() {
+	for i := 0; i < 3; i++ {
+		time.Sleep(backoff(i)) // ok: backoff-derived wait
+	}
+}
+
+func retryWithBackoffVar() {
+	backoffWait := backoff(0)
+	for i := 0; i < 3; i++ {
+		time.Sleep(backoffWait) // ok: backoff-named duration
+	}
+}
+
+func sleepOutsideLoop() {
+	time.Sleep(time.Millisecond) // ok: not a retry loop
+}
+
+func justifiedPoller() {
+	for {
+		time.Sleep(time.Second) //geolint:ignore sleepretry fixed-cadence poller by design, not a retry
+		return
+	}
+}

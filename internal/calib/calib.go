@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math"
 
+	"geoprocmap/internal/faults"
 	"geoprocmap/internal/mat"
 	"geoprocmap/internal/netmodel"
 	"geoprocmap/internal/stats"
@@ -47,9 +48,46 @@ type Options struct {
 	IntraNoise float64
 	// Seed drives the measurement noise.
 	Seed int64
+	// Faults attaches a fault schedule the probes run against. Probes on a
+	// dead link time out and are retried with capped exponential backoff;
+	// degraded links inflate the measured elapsed times; ProbeLoss events
+	// drop individual probe attempts. nil calibrates a healthy network.
+	Faults *faults.Schedule
+	// ProbeTimeout is how long one probe attempt may take before the
+	// calibrator abandons it and retries (default 5 s).
+	ProbeTimeout float64
+	// MaxRetries bounds the retry attempts per sample after the first try
+	// (default 3). A sample that exhausts its retries is recorded as
+	// failed and the site pair is flagged Degraded.
+	MaxRetries int
+	// TrimFraction is the fraction of low and high samples discarded from
+	// each end before averaging (default 0.1) — trimmed-mean outlier
+	// rejection, so transient fault windows cannot skew an estimate that
+	// mostly saw a healthy link.
+	TrimFraction float64
 }
 
-func (o Options) withDefaults() Options {
+func (o Options) withDefaults() (Options, error) {
+	switch {
+	case o.Days < 0:
+		return o, fmt.Errorf("calib: negative Days %d", o.Days)
+	case o.SamplesPerDay < 0:
+		return o, fmt.Errorf("calib: negative SamplesPerDay %d", o.SamplesPerDay)
+	case o.ProbeBytes < 0:
+		return o, fmt.Errorf("calib: negative ProbeBytes %d", o.ProbeBytes)
+	case o.PairProbeSeconds < 0:
+		return o, fmt.Errorf("calib: negative PairProbeSeconds %v", o.PairProbeSeconds)
+	case o.InterNoise < 0:
+		return o, fmt.Errorf("calib: negative InterNoise %v", o.InterNoise)
+	case o.IntraNoise < 0:
+		return o, fmt.Errorf("calib: negative IntraNoise %v", o.IntraNoise)
+	case o.ProbeTimeout < 0:
+		return o, fmt.Errorf("calib: negative ProbeTimeout %v", o.ProbeTimeout)
+	case o.MaxRetries < 0:
+		return o, fmt.Errorf("calib: negative MaxRetries %d", o.MaxRetries)
+	case o.TrimFraction < 0 || o.TrimFraction >= 0.5:
+		return o, fmt.Errorf("calib: TrimFraction %v outside [0, 0.5)", o.TrimFraction)
+	}
 	if o.Days == 0 {
 		o.Days = 3
 	}
@@ -68,7 +106,16 @@ func (o Options) withDefaults() Options {
 	if o.IntraNoise == 0 { //geolint:ignore floatcmp zero-value Options default sentinel; 0 is exactly representable
 		o.IntraNoise = 0.10
 	}
-	return o
+	if o.ProbeTimeout == 0 { //geolint:ignore floatcmp zero-value Options default sentinel; 0 is exactly representable
+		o.ProbeTimeout = 5
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 3
+	}
+	if o.TrimFraction == 0 { //geolint:ignore floatcmp zero-value Options default sentinel; 0 is exactly representable
+		o.TrimFraction = 0.1
+	}
+	return o, nil
 }
 
 // Result holds the calibrated matrices and the overhead accounting.
@@ -86,17 +133,55 @@ type Result struct {
 	// SitePairSessions is the number of ordered inter-site probe sessions
 	// (M(M−1)); intra-site probes piggyback on the same sessions.
 	SitePairSessions int
-	// OverheadSeconds is SitePairSessions × PairProbeSeconds.
+	// OverheadSeconds is SitePairSessions × PairProbeSeconds plus
+	// RetrySeconds — the retry-aware accounting of what calibration
+	// actually cost under faults.
 	OverheadSeconds float64
+	// Degraded(k, l) is 1 when at least one sample for the pair was
+	// abandoned after exhausting its retries, so the pair's estimates rest
+	// on fewer samples than requested (a fully unreachable pair falls back
+	// to the timeout bound: LT = ProbeTimeout, BT = ProbeBytes/ProbeTimeout).
+	Degraded *mat.Matrix
+	// Retries counts probe attempts beyond each sample's first try.
+	Retries int
+	// FailedSamples counts samples abandoned after MaxRetries.
+	FailedSamples int
+	// RetrySeconds is the wall time spent on timed-out attempts and their
+	// backoff waits.
+	RetrySeconds float64
+}
+
+// DegradedPairs lists the site pairs flagged in Degraded, row-major.
+func (r *Result) DegradedPairs() [][2]int {
+	if r.Degraded == nil {
+		return nil
+	}
+	var out [][2]int
+	m := r.Degraded.Rows()
+	for k := 0; k < m; k++ {
+		for l := 0; l < m; l++ {
+			if r.Degraded.At(k, l) > 0 {
+				out = append(out, [2]int{k, l})
+			}
+		}
+	}
+	return out
 }
 
 // Calibrate measures the cloud's LT/BT matrices through noisy ping-pong
-// probes and returns averaged estimates.
+// probes and returns averaged estimates. With Options.Faults set the probes
+// run against the fault schedule — sample j of every pair fires at schedule
+// time j × PairProbeSeconds — timing out on dead links, retrying with
+// capped exponential backoff (jittered from the calibration RNG, so runs
+// stay seed-deterministic), and rejecting outliers with a trimmed mean.
 func Calibrate(cloud *netmodel.Cloud, opt Options) (*Result, error) {
 	if cloud == nil {
 		return nil, fmt.Errorf("calib: nil cloud")
 	}
-	o := opt.withDefaults()
+	o, err := opt.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	if o.Days < 1 || o.SamplesPerDay < 1 {
 		return nil, fmt.Errorf("calib: need at least one day and one sample per day")
 	}
@@ -108,8 +193,16 @@ func Calibrate(cloud *netmodel.Cloud, opt Options) (*Result, error) {
 	lt := mat.NewSquare(m)
 	bt := mat.NewSquare(m)
 	variation := mat.NewSquare(m)
+	degraded := mat.NewSquare(m)
+	res := &Result{
+		LT:        lt,
+		BT:        bt,
+		Variation: variation,
+		Degraded:  degraded,
+	}
 	samples := o.Days * o.SamplesPerDay
-	probes := make([]float64, samples)
+	latSamples := make([]float64, 0, samples)
+	probes := make([]float64, 0, samples)
 	for k := 0; k < m; k++ {
 		for l := 0; l < m; l++ {
 			noise := o.InterNoise
@@ -118,13 +211,32 @@ func Calibrate(cloud *netmodel.Cloud, opt Options) (*Result, error) {
 			}
 			trueLat := cloud.LT.At(k, l)
 			trueBW := cloud.BT.At(k, l)
-			var latSum float64
+			latSamples = latSamples[:0]
+			probes = probes[:0]
+			pairFailed := 0
 			for s := 0; s < samples; s++ {
-				latSum += elapsed(1, trueLat, trueBW, noise, rng)
-				probes[s] = elapsed(float64(o.ProbeBytes), trueLat, trueBW, noise, rng)
+				lat1, latP, ok := probePair(k, l, float64(s)*o.PairProbeSeconds, trueLat, trueBW, noise, o, rng, res)
+				if !ok {
+					pairFailed++
+					continue
+				}
+				latSamples = append(latSamples, lat1)
+				probes = append(probes, latP)
 			}
-			latEst := latSum / float64(samples)
-			probeMean := stats.Mean(probes)
+			res.FailedSamples += pairFailed
+			if pairFailed > 0 {
+				degraded.Set(k, l, 1)
+			}
+			if len(probes) == 0 {
+				// The pair never answered: the timeout is the only bound
+				// the calibrator observed. Downstream consumers must treat
+				// the pair as unreliable via the Degraded flag.
+				lt.Set(k, l, o.ProbeTimeout)
+				bt.Set(k, l, float64(o.ProbeBytes)/o.ProbeTimeout)
+				continue
+			}
+			latEst := stats.TrimmedMean(latSamples, o.TrimFraction)
+			probeMean := stats.TrimmedMean(probes, o.TrimFraction)
 			transfer := probeMean - latEst
 			if transfer <= 0 {
 				// Noise swallowed the transfer time; fall back to the raw
@@ -139,14 +251,55 @@ func Calibrate(cloud *netmodel.Cloud, opt Options) (*Result, error) {
 		}
 	}
 	sessions := m * (m - 1)
-	return &Result{
-		LT:               lt,
-		BT:               bt,
-		Variation:        variation,
-		SamplesPerPair:   samples,
-		SitePairSessions: sessions,
-		OverheadSeconds:  float64(sessions) * o.PairProbeSeconds,
-	}, nil
+	res.SamplesPerPair = samples
+	res.SitePairSessions = sessions
+	res.OverheadSeconds = float64(sessions)*o.PairProbeSeconds + res.RetrySeconds
+	return res, nil
+}
+
+// probePair runs one sample — first try plus up to MaxRetries backoff-spaced
+// retries — for site pair (k, l) at schedule time t0. It returns the
+// measured one-byte and probe elapsed times, or ok=false when the sample
+// exhausted its retries. Retry accounting accumulates into res.
+func probePair(k, l int, t0, trueLat, trueBW, noise float64, o Options, rng interface {
+	NormFloat64() float64
+	Float64() float64
+}, res *Result) (lat1, latP float64, ok bool) {
+	t := t0
+	for attempt := 0; ; attempt++ {
+		st := o.Faults.Link(k, l, t)
+		failed := false
+		switch {
+		case st.Down:
+			// The ping never returns; the probe burns its full timeout.
+			failed = true
+		case st.LossProb > 0 && rng.Float64() < st.LossProb:
+			failed = true
+		default:
+			effLat := trueLat * st.LatFactor
+			effBW := trueBW * st.BWFactor
+			lat1 = elapsed(1, effLat, effBW, noise, rng)
+			latP = elapsed(float64(o.ProbeBytes), effLat, effBW, noise, rng)
+			if latP > o.ProbeTimeout {
+				// Too degraded to finish in time — indistinguishable from
+				// a dead link at the probe's vantage point.
+				failed = true
+			}
+		}
+		if !failed {
+			return lat1, latP, true
+		}
+		if attempt >= o.MaxRetries {
+			return 0, 0, false
+		}
+		wait := o.ProbeTimeout + faults.Backoff(attempt, faults.DefaultBackoffBase, faults.DefaultBackoffCap, nil)
+		// Jitter the retry spacing (±25%) so repeated probes do not
+		// synchronize with periodic fault windows.
+		wait *= 1 + 0.25*(2*rng.Float64()-1)
+		res.Retries++
+		res.RetrySeconds += wait
+		t += wait
+	}
 }
 
 // elapsed models one ping-pong sample: the α–β time with multiplicative

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"geoprocmap/internal/faults"
 	"geoprocmap/internal/netmodel"
 )
 
@@ -87,6 +88,22 @@ func TestCalibrateErrors(t *testing.T) {
 	}
 	if _, err := Calibrate(cloud, Options{ProbeBytes: 1}); err == nil {
 		t.Error("1-byte probe accepted")
+	}
+	bad := []Options{
+		{SamplesPerDay: -1},
+		{ProbeBytes: -8},
+		{PairProbeSeconds: -1},
+		{InterNoise: -0.1},
+		{IntraNoise: -0.1},
+		{ProbeTimeout: -1},
+		{MaxRetries: -1},
+		{TrimFraction: -0.1},
+		{TrimFraction: 0.5},
+	}
+	for i, o := range bad {
+		if _, err := Calibrate(cloud, o); err == nil {
+			t.Errorf("bad options %d (%+v) accepted", i, o)
+		}
 	}
 }
 
@@ -182,5 +199,137 @@ func TestVariationStatistics(t *testing.T) {
 	}
 	if intraMin <= interMax {
 		t.Errorf("intra-site variation (min %.3f) not above inter-site (max %.3f)", intraMin, interMax)
+	}
+}
+
+// A site that never answers: every pair touching it exhausts its retries,
+// is flagged Degraded, and falls back to the timeout bound, while the
+// surviving pairs calibrate as if nothing happened.
+func TestCalibrateUnderBlackoutFlagsDegraded(t *testing.T) {
+	cloud, err := netmodel.PaperCloud(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const dead = 1
+	sched := &faults.Schedule{Name: "blackout", Events: []faults.Event{
+		{Kind: faults.SiteOutage, Start: 0, Site: dead},
+	}}
+	res, err := Calibrate(cloud, Options{Seed: 4, Faults: sched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthy, err := Calibrate(cloud, Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < cloud.M(); k++ {
+		for l := 0; l < cloud.M(); l++ {
+			touches := k == dead || l == dead
+			if got := res.Degraded.At(k, l) > 0; got != touches {
+				t.Errorf("Degraded(%d,%d) = %v, want %v", k, l, got, touches)
+			}
+			if touches && res.LT.At(k, l) != 5 {
+				t.Errorf("LT(%d,%d) = %v, want the 5 s timeout fallback", k, l, res.LT.At(k, l))
+			}
+			if !touches {
+				// Surviving pairs calibrate at healthy accuracy (the RNG
+				// streams diverge, so compare against the truth, not the
+				// healthy run bitwise).
+				relErr := math.Abs(res.LT.At(k, l)-cloud.LT.At(k, l)) / cloud.LT.At(k, l)
+				if relErr > 0.2 {
+					t.Errorf("LT(%d,%d) off by %.0f%% on a surviving pair", k, l, 100*relErr)
+				}
+			}
+		}
+	}
+	if res.Retries == 0 || res.FailedSamples == 0 || res.RetrySeconds <= 0 {
+		t.Errorf("no retry accounting: %d retries, %d failed, %.1f s", res.Retries, res.FailedSamples, res.RetrySeconds)
+	}
+	if res.OverheadSeconds <= healthy.OverheadSeconds {
+		t.Error("faulty overhead not above healthy overhead")
+	}
+	want := [][2]int{}
+	for k := 0; k < cloud.M(); k++ {
+		for l := 0; l < cloud.M(); l++ {
+			if k == dead || l == dead {
+				want = append(want, [2]int{k, l})
+			}
+		}
+	}
+	got := res.DegradedPairs()
+	if len(got) != len(want) {
+		t.Errorf("DegradedPairs = %v, want %v", got, want)
+	}
+}
+
+// A short outage window at the start of the run: the backoff retries walk
+// the probe past the window, so no sample is lost and nothing is flagged.
+func TestCalibrateRetriesRecoverFromWindow(t *testing.T) {
+	cloud, err := netmodel.PaperCloud(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := &faults.Schedule{Name: "window", Events: []faults.Event{
+		{Kind: faults.LinkDown, Start: 0, End: 8, Src: 0, Dst: 1},
+	}}
+	res, err := Calibrate(cloud, Options{Seed: 4, Faults: sched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retries == 0 {
+		t.Error("probe on the downed link never retried")
+	}
+	if res.FailedSamples != 0 || res.Degraded.At(0, 1) != 0 {
+		t.Errorf("recoverable window lost samples: %d failed, Degraded(0,1) = %v",
+			res.FailedSamples, res.Degraded.At(0, 1))
+	}
+	latErr, bwErr := res.RelativeErrors(cloud)
+	if latErr > 0.08 || bwErr > 0.12 {
+		t.Errorf("errors after recovery lat %.3f bw %.3f, want healthy accuracy", latErr, bwErr)
+	}
+}
+
+// A latency spike covering one of thirty samples: the trimmed mean discards
+// the outlier, keeping the estimates at healthy accuracy.
+func TestTrimmedMeanRejectsOutliers(t *testing.T) {
+	cloud, err := netmodel.PaperCloud(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := &faults.Schedule{Name: "spike", Events: []faults.Event{
+		{Kind: faults.LatencySpike, Start: 0, End: 30, Src: faults.Wildcard, Dst: faults.Wildcard, Factor: 3},
+	}}
+	res, err := Calibrate(cloud, Options{Seed: 6, Faults: sched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	latErr, _ := res.RelativeErrors(cloud)
+	if latErr > 0.1 {
+		t.Errorf("latency error %.3f with a trimmed outlier, want ≤0.1", latErr)
+	}
+	if res.FailedSamples != 0 {
+		t.Errorf("%d samples failed under a pure latency spike", res.FailedSamples)
+	}
+}
+
+func TestCalibrateFaultyDeterministic(t *testing.T) {
+	cloud, err := netmodel.PaperCloud(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() *Result {
+		res, err := Calibrate(cloud, Options{Seed: 7, Faults: faults.FlakyWAN(cloud.M(), 7)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !a.LT.Equal(b.LT, 0) || !a.BT.Equal(b.BT, 0) {
+		t.Error("same seed produced different faulty calibrations")
+	}
+	if a.Retries != b.Retries || a.FailedSamples != b.FailedSamples ||
+		math.Float64bits(a.RetrySeconds) != math.Float64bits(b.RetrySeconds) {
+		t.Error("same seed produced different retry accounting")
 	}
 }

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"geoprocmap/internal/faults"
+)
+
+// RemapOptions tunes failure-aware remapping.
+type RemapOptions struct {
+	// ImageBytes is the per-process migration payload — the checkpoint
+	// image restored at the destination site (default 64 MB).
+	ImageBytes float64
+	// MoveDegraded also evacuates processes from degraded (but live) sites
+	// when the α–β cost saved over HorizonIterations amortizes the move's
+	// migration time. Dead-site evacuation is always performed.
+	MoveDegraded bool
+	// HorizonIterations is the number of future application iterations a
+	// degraded-site move's cost saving is credited over (default 100).
+	HorizonIterations float64
+}
+
+func (o RemapOptions) withDefaults() RemapOptions {
+	if o.ImageBytes <= 0 {
+		o.ImageBytes = 64 << 20
+	}
+	if o.HorizonIterations <= 0 {
+		o.HorizonIterations = 100
+	}
+	return o
+}
+
+// RemapResult describes a failure-aware remapping.
+type RemapResult struct {
+	// Placement is the repaired mapping: identical to the stale one except
+	// for the migrated processes.
+	Placement Placement
+	// Migrated lists the moved processes in migration order.
+	Migrated []int
+	// MigrationSeconds is the total checkpoint-transfer time of the moves,
+	// each at the bandwidth between the old and new site (restores from a
+	// dead site read the checkpoint replica at the same region, so the
+	// stale BT row still prices the transfer).
+	MigrationSeconds float64
+	// CostBefore and CostAfter are the problem's α–β costs of the stale
+	// and repaired placements. CostBefore prices dead-site traffic with
+	// the pre-fault matrices — an optimistic floor, since that traffic
+	// would in reality never complete.
+	CostBefore, CostAfter float64
+}
+
+// Remap repairs a placement after faults: every process on a dead site is
+// migrated to a surviving site, chosen greedily (heaviest communicators
+// first, each to the live site minimizing its marginal α–β cost against the
+// rest of the placement), honoring the constraint vector, the per-process
+// Allowed sets, and the surviving capacities. Constraints pinning a process
+// to a dead site are unsatisfiable and are released for the migration.
+// With opt.MoveDegraded set, processes on degraded sites (sites touching a
+// degraded pair in the report) are also moved when the saving amortizes the
+// migration.
+//
+// The report's DeadSites and DegradedPairs drive the decision; a nil or
+// fault-free report returns the placement unchanged.
+func Remap(p *Problem, current Placement, rep *faults.Report, opt RemapOptions) (*RemapResult, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.CheckPlacement(current); err != nil {
+		return nil, fmt.Errorf("core: stale placement invalid: %w", err)
+	}
+	o := opt.withDefaults()
+	n, m := p.N(), p.M()
+	res := &RemapResult{
+		Placement:  append(Placement(nil), current...),
+		CostBefore: p.Cost(current),
+	}
+	if rep == nil || rep.Empty() {
+		res.CostAfter = res.CostBefore
+		return res, nil
+	}
+	dead := make([]bool, m)
+	liveCap := 0
+	for _, k := range rep.DeadSites {
+		if k < 0 || k >= m {
+			return nil, fmt.Errorf("core: dead site %d out of range [0,%d)", k, m)
+		}
+		dead[k] = true
+	}
+	for k := 0; k < m; k++ {
+		if !dead[k] {
+			liveCap += p.Capacity[k]
+		}
+	}
+	if liveCap < n {
+		return nil, fmt.Errorf("core: %d processes exceed surviving capacity %d", n, liveCap)
+	}
+
+	// Victims leave their sites; everyone else stays and claims their slot.
+	var victims []int
+	avail := p.Capacity.Clone()
+	for i, s := range res.Placement {
+		if dead[s] {
+			victims = append(victims, i)
+		} else {
+			avail[s]--
+		}
+	}
+	for k := 0; k < m; k++ {
+		if dead[k] {
+			avail[k] = 0
+		}
+	}
+	if len(victims) == 0 && !o.MoveDegraded {
+		res.CostAfter = res.CostBefore
+		return res, nil
+	}
+	// Heaviest communicators first: they dominate the cost, so they get
+	// first pick of the surviving slots (the same greedy order the
+	// baselines use).
+	sort.SliceStable(victims, func(a, b int) bool {
+		return p.Comm.Quantity(victims[a]) > p.Comm.Quantity(victims[b])
+	})
+	for _, i := range victims {
+		j, err := bestLiveSite(p, res.Placement, i, dead, avail)
+		if err != nil {
+			return nil, err
+		}
+		res.MigrationSeconds += o.ImageBytes / p.BT.At(res.Placement[i], j)
+		res.Placement[i] = j
+		avail[j]--
+		res.Migrated = append(res.Migrated, i)
+	}
+
+	if o.MoveDegraded {
+		degradedSite := make([]bool, m)
+		for _, pair := range rep.DegradedPairs {
+			for _, k := range []int{pair[0], pair[1]} {
+				if k >= 0 && k < m && !dead[k] {
+					degradedSite[k] = true
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			s := res.Placement[i]
+			if !degradedSite[s] || p.Constraint[i] == s {
+				continue
+			}
+			oldDelta := marginalCost(p, res.Placement, i, s)
+			j, err := bestLiveSite(p, res.Placement, i, dead, avail)
+			if err != nil || j == s {
+				continue
+			}
+			saving := oldDelta - marginalCost(p, res.Placement, i, j)
+			migration := o.ImageBytes / p.BT.At(s, j)
+			if saving*o.HorizonIterations <= migration {
+				continue
+			}
+			res.MigrationSeconds += migration
+			avail[s]++
+			avail[j]--
+			res.Placement[i] = j
+			res.Migrated = append(res.Migrated, i)
+		}
+	}
+
+	// The repaired placement must satisfy everything except pins to dead
+	// sites, which no placement can satisfy.
+	if err := checkIgnoringDeadPins(p, res.Placement, dead); err != nil {
+		return nil, fmt.Errorf("core: remap produced invalid placement: %w", err)
+	}
+	res.CostAfter = p.Cost(res.Placement)
+	return res, nil
+}
+
+// bestLiveSite returns the surviving site with free capacity that minimizes
+// process i's marginal α–β cost against the current placement, honoring its
+// pin (unless pinned to a dead site) and Allowed set.
+func bestLiveSite(p *Problem, pl Placement, i int, dead []bool, avail []int) (int, error) {
+	if c := p.Constraint[i]; c != Unconstrained && !dead[c] {
+		if avail[c] <= 0 && pl[i] != c {
+			return 0, fmt.Errorf("core: process %d pinned to full site %d", i, c)
+		}
+		return c, nil
+	}
+	best, bestCost := -1, 0.0
+	for j := 0; j < p.M(); j++ {
+		if dead[j] || (avail[j] <= 0 && pl[i] != j) || !allowedIgnoringDeadPin(p, i, j, dead) {
+			continue
+		}
+		c := marginalCost(p, pl, i, j)
+		if best == -1 || c < bestCost {
+			best, bestCost = j, c
+		}
+	}
+	if best == -1 {
+		return 0, fmt.Errorf("core: no surviving site admits process %d", i)
+	}
+	return best, nil
+}
+
+// allowedIgnoringDeadPin is AllowedOn with a pin to a dead site treated as
+// released: the Allowed set still applies, only the unsatisfiable pin is
+// waived.
+func allowedIgnoringDeadPin(p *Problem, i, j int, dead []bool) bool {
+	if c := p.Constraint[i]; c != Unconstrained && c != j && !dead[c] {
+		return false
+	}
+	if len(p.Allowed) == 0 || len(p.Allowed[i]) == 0 {
+		return true
+	}
+	for _, a := range p.Allowed[i] {
+		if a == j {
+			return true
+		}
+	}
+	return false
+}
+
+// marginalCost is the α–β cost process i contributes when placed at site j,
+// with every other process at its current site (dead-site peers included —
+// they are priced like any other until their own migration fixes them).
+func marginalCost(p *Problem, pl Placement, i, j int) float64 {
+	var cost float64
+	for _, e := range p.Comm.Outgoing(i) {
+		if e.Peer == i {
+			continue
+		}
+		sj := pl[e.Peer]
+		cost += e.Msgs*p.LT.At(j, sj) + e.Volume/p.BT.At(j, sj)
+	}
+	for _, e := range p.Comm.Incoming(i) {
+		if e.Peer == i {
+			continue
+		}
+		si := pl[e.Peer]
+		cost += e.Msgs*p.LT.At(si, j) + e.Volume/p.BT.At(si, j)
+	}
+	return cost
+}
+
+// checkIgnoringDeadPins is CheckPlacement with constraints whose target
+// site is dead treated as released.
+func checkIgnoringDeadPins(p *Problem, pl Placement, dead []bool) error {
+	relaxed := *p
+	relaxed.Constraint = p.Constraint.Clone()
+	for i, c := range relaxed.Constraint {
+		if c != Unconstrained && dead[c] {
+			relaxed.Constraint[i] = Unconstrained
+		}
+	}
+	if err := relaxed.CheckPlacement(pl); err != nil {
+		return err
+	}
+	for i, s := range pl {
+		if dead[s] {
+			return fmt.Errorf("process %d still on dead site %d", i, s)
+		}
+	}
+	return nil
+}

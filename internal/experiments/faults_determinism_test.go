@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"geoprocmap/internal/apps"
+	"geoprocmap/internal/core"
+	"geoprocmap/internal/faults"
+)
+
+// faultyRun captures everything the fault pipeline produces that must be
+// reproducible: the stale-placement fault report, the remapped placement,
+// and the bit patterns of the simulated communication times.
+type faultyRun struct {
+	report    string
+	remapped  string
+	staleBits uint64
+	fixedBits uint64
+	migration uint64
+}
+
+// TestFaultSeedDeterminism is the fault-layer twin of TestSeedDeterminism:
+// two full fault-pipeline runs — headroom cloud, instance build, Geo
+// mapping, SiteBlackout schedule, faulty replay, failure-aware remap,
+// faulty replay of the repair — with the same seed must produce a
+// byte-identical fault report, an identical remapped placement, and
+// bit-identical communication costs. The stateless Hash01 loss draws and
+// seeded schedule generation are what make this hold.
+func TestFaultSeedDeterminism(t *testing.T) {
+	const (
+		n    = 64
+		seed = 42
+	)
+	runOnce := func() faultyRun {
+		t.Helper()
+		cloud, err := HeadroomCloudForScale(n, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst, err := BuildInstance(cloud, apps.NewLU(), n, 10, 0.2, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mapper := &core.GeoMapper{Kappa: 4, Seed: seed}
+		pl, err := mapper.Map(inst.Problem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched, err := faults.Preset("SiteBlackout", cloud.M(), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		staleRes, staleRep, err := inst.SimulateFaultyReplay(pl, sched, FaultStart)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if staleRep.Empty() {
+			t.Fatal("SiteBlackout produced an empty fault report")
+		}
+		remap, err := core.Remap(inst.Problem, pl, staleRep, core.RemapOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(remap.Migrated) == 0 {
+			t.Fatal("SiteBlackout remap migrated no processes")
+		}
+		fixedRes, _, err := inst.SimulateFaultyReplay(remap.Placement, sched, FaultStart)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Acceptance property: the failure-aware remapping must beat the
+		// stale mapping's simulated cost on the blackout preset.
+		if fixedRes.CommSeconds >= staleRes.CommSeconds {
+			t.Fatalf("remap did not improve on the stale placement: %.2f s vs %.2f s",
+				fixedRes.CommSeconds, staleRes.CommSeconds)
+		}
+		return faultyRun{
+			report:    staleRep.String(),
+			remapped:  fmt.Sprintf("%v", remap.Placement),
+			staleBits: math.Float64bits(staleRes.CommSeconds),
+			fixedBits: math.Float64bits(fixedRes.CommSeconds),
+			migration: math.Float64bits(remap.MigrationSeconds),
+		}
+	}
+
+	r1 := runOnce()
+	r2 := runOnce()
+	if r1.report != r2.report {
+		t.Errorf("same-seed fault reports differ:\n run 1: %s\n run 2: %s", r1.report, r2.report)
+	}
+	if r1.remapped != r2.remapped {
+		t.Errorf("same-seed remapped placements differ:\n run 1: %s\n run 2: %s", r1.remapped, r2.remapped)
+	}
+	if r1.staleBits != r2.staleBits {
+		t.Errorf("same-seed stale costs differ bitwise: %016x vs %016x", r1.staleBits, r2.staleBits)
+	}
+	if r1.fixedBits != r2.fixedBits {
+		t.Errorf("same-seed remapped costs differ bitwise: %016x vs %016x", r1.fixedBits, r2.fixedBits)
+	}
+	if r1.migration != r2.migration {
+		t.Errorf("same-seed migration times differ bitwise: %016x vs %016x", r1.migration, r2.migration)
+	}
+}

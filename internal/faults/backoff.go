@@ -1,0 +1,110 @@
+package faults
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Backoff defaults shared by the simulator and the calibrator. All values
+// are simulated seconds — nothing in this repository actually sleeps.
+const (
+	// DefaultBackoffBase is the first retry delay.
+	DefaultBackoffBase = 0.25
+	// DefaultBackoffCap bounds any single retry delay.
+	DefaultBackoffCap = 8.0
+	// DefaultMaxAttempts bounds transmission attempts per message.
+	DefaultMaxAttempts = 8
+)
+
+// Backoff returns the capped exponential delay before retry attempt
+// (0-based): base·2^attempt clamped to cap, with ±25% jitter drawn from rng
+// when rng is non-nil. It is the shared helper the geolint sleepretry rule
+// requires retry loops to use, so no retry path can reintroduce an
+// unbounded or un-jittered busy-wait.
+func Backoff(attempt int, base, cap float64, rng *rand.Rand) float64 {
+	if base <= 0 {
+		base = DefaultBackoffBase
+	}
+	if cap <= 0 {
+		cap = DefaultBackoffCap
+	}
+	if attempt < 0 {
+		attempt = 0
+	}
+	d := base * math.Pow(2, float64(attempt))
+	if d > cap {
+		d = cap
+	}
+	if rng != nil {
+		d *= 1 + 0.25*(2*rng.Float64()-1)
+	}
+	return d
+}
+
+// BackoffTotal returns the cumulative delay of n capped exponential retry
+// waits without jitter — the deterministic accounting the simulator uses
+// for blocked time, so a shared Simulator needs no mutable RNG.
+func BackoffTotal(n int, base, cap float64) float64 {
+	var total float64
+	for i := 0; i < n; i++ {
+		total += Backoff(i, base, cap, nil)
+	}
+	return total
+}
+
+// AttemptsForWait returns how many backoff-spaced retry probes a sender
+// issues while waiting `wait` seconds for a link to recover: the smallest n
+// with BackoffTotal(n) ≥ wait (at least 1 for any positive wait).
+func AttemptsForWait(wait, base, cap float64) int {
+	if wait <= 0 {
+		return 0
+	}
+	n := 0
+	var total float64
+	for total < wait && n < 64 {
+		total += Backoff(n, base, cap, nil)
+		n++
+	}
+	return n
+}
+
+// Hash01 maps a seed and a key sequence to a uniform [0, 1) value with a
+// splitmix64-style mixer. It is the stateless substitute for rng.Float64()
+// in code that must be callable concurrently on shared values (the
+// simulator's per-message loss draws): same inputs, same draw, no data
+// races, bit-reproducible across runs.
+func Hash01(seed int64, keys ...int64) float64 {
+	x := splitmix64(uint64(seed))
+	for _, k := range keys {
+		x = splitmix64(x ^ splitmix64(uint64(k)))
+	}
+	// 53 mantissa bits → uniform float64 in [0, 1).
+	return float64(x>>11) / float64(1<<53)
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator — a full-avalanche
+// 64-bit mixer.
+func splitmix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Attempts returns the deterministic number of transmission attempts a
+// message needs under per-attempt loss probability p: consecutive Hash01
+// draws below p are losses, the first at-or-above p succeeds, capped at max
+// (DefaultMaxAttempts when max ≤ 0). Zero p is a single attempt.
+func Attempts(seed int64, msgKey int64, p float64, max int) int {
+	if max <= 0 {
+		max = DefaultMaxAttempts
+	}
+	if p <= 0 {
+		return 1
+	}
+	n := 1
+	for n < max && Hash01(seed, msgKey, int64(n)) < p {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,111 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Report is the structured fault accounting a fault-aware simulation or
+// calibration run produces instead of an optimistic time: what failed, how
+// often senders retried, and how long they sat blocked. Reports from
+// sequential phases merge associatively, and every field is filled
+// deterministically, so same seed + same schedule ⇒ an identical Report.
+type Report struct {
+	// Schedule names the schedule that was active.
+	Schedule string
+	// Messages is the number of messages (or probes) observed.
+	Messages int
+	// Retries counts retransmissions and backoff probes beyond each
+	// message's first attempt.
+	Retries int
+	// Dropped counts messages abandoned after blocking a full deadline on
+	// a link that never recovered in time.
+	Dropped int
+	// BlockedSeconds is the total simulated time senders spent blocked on
+	// dead links or waiting out retransmission backoff.
+	BlockedSeconds float64
+	// DeadSites lists sites that were in outage at any point of the run,
+	// ascending.
+	DeadSites []int
+	// DegradedPairs lists directed site pairs that saw any link fault
+	// (down, degraded bandwidth, latency spike, or loss), ordered.
+	DegradedPairs [][2]int
+}
+
+// Empty reports whether the run saw no fault effects at all.
+func (r *Report) Empty() bool {
+	return r == nil || (r.Retries == 0 && r.Dropped == 0 && r.BlockedSeconds == 0 &&
+		len(r.DeadSites) == 0 && len(r.DegradedPairs) == 0)
+}
+
+// Merge folds another report (e.g. from the next phase) into r. Counters
+// add; site and pair sets union, keeping their deterministic order.
+func (r *Report) Merge(o *Report) {
+	if o == nil {
+		return
+	}
+	if r.Schedule == "" {
+		r.Schedule = o.Schedule
+	}
+	r.Messages += o.Messages
+	r.Retries += o.Retries
+	r.Dropped += o.Dropped
+	r.BlockedSeconds += o.BlockedSeconds
+	r.DeadSites = mergeSites(r.DeadSites, o.DeadSites)
+	r.DegradedPairs = mergePairs(r.DegradedPairs, o.DegradedPairs)
+}
+
+func mergeSites(a, b []int) []int {
+	seen := map[int]bool{}
+	for _, s := range a {
+		seen[s] = true
+	}
+	for _, s := range b {
+		seen[s] = true
+	}
+	out := make([]int, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func mergePairs(a, b [][2]int) [][2]int {
+	seen := map[[2]int]bool{}
+	for _, p := range a {
+		seen[p] = true
+	}
+	for _, p := range b {
+		seen[p] = true
+	}
+	out := make([][2]int, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// String renders a one-paragraph human summary.
+func (r *Report) String() string {
+	if r == nil {
+		return "fault report: none"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "fault report (%s): %d messages, %d retries, %d dropped, %.2fs blocked",
+		r.Schedule, r.Messages, r.Retries, r.Dropped, r.BlockedSeconds)
+	if len(r.DeadSites) > 0 {
+		fmt.Fprintf(&b, "; dead sites %v", r.DeadSites)
+	}
+	if len(r.DegradedPairs) > 0 {
+		fmt.Fprintf(&b, "; %d degraded site pairs", len(r.DegradedPairs))
+	}
+	return b.String()
+}

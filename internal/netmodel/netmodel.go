@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"math"
 
+	"geoprocmap/internal/faults"
 	"geoprocmap/internal/geo"
 	"geoprocmap/internal/mat"
 	"geoprocmap/internal/stats"
@@ -284,4 +285,38 @@ func TransferTime(n float64, alphaSec, betaBytesPerSec float64) float64 {
 // message count (AG entry) and volume in bytes (CG entry).
 func (c *Cloud) PairCost(msgs, volume float64, k, l int) float64 {
 	return msgs*c.LT.At(k, l) + volume/c.BT.At(k, l)
+}
+
+// DeadLinkPenalty is the factor FaultView applies to a down link: latency
+// is multiplied and bandwidth divided by it, making the link prohibitively
+// expensive for any cost-driven mapper while keeping the matrices valid
+// (strictly positive bandwidth, as Problem.Validate requires).
+const DeadLinkPenalty = 1e6
+
+// FaultView returns a copy of the cloud whose LT/BT matrices reflect the
+// fault schedule's link states at time t: degraded links have their
+// bandwidth scaled down and latency scaled up by the active events, and
+// down links (including every link of a site in outage) carry the
+// DeadLinkPenalty. Mappers fed the view steer traffic away from faulty
+// links; a nil schedule returns a view identical to the cloud. The Sites
+// slice is shared with the receiver, the matrices are fresh copies.
+func (c *Cloud) FaultView(sched *faults.Schedule, t float64) *Cloud {
+	m := c.M()
+	lt := mat.NewSquare(m)
+	bt := mat.NewSquare(m)
+	for k := 0; k < m; k++ {
+		for l := 0; l < m; l++ {
+			st := sched.Link(k, l, t)
+			if st.Down {
+				lt.Set(k, l, c.LT.At(k, l)*DeadLinkPenalty)
+				bt.Set(k, l, c.BT.At(k, l)/DeadLinkPenalty)
+				continue
+			}
+			lt.Set(k, l, c.LT.At(k, l)*st.LatFactor)
+			bt.Set(k, l, c.BT.At(k, l)*st.BWFactor)
+		}
+	}
+	view := *c
+	view.LT, view.BT = lt, bt
+	return &view
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"geoprocmap/internal/faults"
 	"geoprocmap/internal/geo"
 )
 
@@ -251,5 +252,46 @@ func TestQuickCloudPositivity(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestFaultView(t *testing.T) {
+	c := paperCloud(t)
+	sched := &faults.Schedule{Name: "view", Events: []faults.Event{
+		{Kind: faults.SiteOutage, Start: 0, Site: 1},
+		{Kind: faults.BandwidthDegrade, Start: 0, Src: 0, Dst: 2, Factor: 0.5},
+		{Kind: faults.LatencySpike, Start: 0, Src: 0, Dst: 2, Factor: 2},
+	}}
+	v := c.FaultView(sched, 1)
+	for k := 0; k < c.M(); k++ {
+		for l := 0; l < c.M(); l++ {
+			lt, bt := v.LT.At(k, l), v.BT.At(k, l)
+			if bt <= 0 {
+				t.Fatalf("BT(%d,%d) = %v, must stay positive", k, l, bt)
+			}
+			switch {
+			case k == 1 || l == 1:
+				if lt != c.LT.At(k, l)*DeadLinkPenalty || bt != c.BT.At(k, l)/DeadLinkPenalty {
+					t.Errorf("dead link (%d,%d) not penalized: lt %v bt %v", k, l, lt, bt)
+				}
+			case k == 0 && l == 2:
+				if lt != c.LT.At(k, l)*2 || bt != c.BT.At(k, l)*0.5 {
+					t.Errorf("degraded link (0,2) wrong: lt %v bt %v", lt, bt)
+				}
+			default:
+				if lt != c.LT.At(k, l) || bt != c.BT.At(k, l) {
+					t.Errorf("healthy link (%d,%d) altered", k, l)
+				}
+			}
+		}
+	}
+	// nil schedule: an identical view.
+	plain := c.FaultView(nil, 0)
+	if !plain.LT.Equal(c.LT, 0) || !plain.BT.Equal(c.BT, 0) {
+		t.Error("nil-schedule view differs from the cloud")
+	}
+	// The view must pass the mapping problem's matrix invariants.
+	if v.M() != c.M() || v.TotalNodes() != c.TotalNodes() {
+		t.Error("view changed topology")
 	}
 }

@@ -1,0 +1,232 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+
+	"geoprocmap/internal/faults"
+	"geoprocmap/internal/trace"
+)
+
+// This file is the simulator's fault-aware mode: the same two engines as
+// netsim.go/replay.go, but consulting the Options.Faults schedule and
+// returning a structured faults.Report instead of an optimistic time.
+//
+// Semantics shared by both engines:
+//
+//   - a message whose link is down when it would start blocks; the sender
+//     probes with capped exponential backoff (accounted, not slept) until
+//     the link recovers or Options.FaultDeadline elapses, after which the
+//     message is dropped and reported;
+//   - bandwidth-degradation faults scale the WAN rate, latency spikes
+//     scale the propagation delay;
+//   - per-attempt loss retransmits the whole message with backoff between
+//     attempts, capped at faults.DefaultMaxAttempts. Loss draws use the
+//     stateless faults.Hash01 keyed by the schedule seed and the message
+//     index, so a shared Simulator stays data-race-free and two runs with
+//     the same seed and schedule produce bit-identical results.
+//
+// All methods are read-only on the Simulator (safe for concurrent use) and
+// work — returning healthy-network results and an empty report — when no
+// schedule is configured.
+
+// ReplayTraceFaulty replays the event stream under the fault schedule,
+// starting at absolute schedule time `start`. It returns the communication
+// span (duration from start until the last delivery or abandonment) and
+// the fault report for the run window.
+func (s *Simulator) ReplayTraceFaulty(events []trace.Event, start float64) (float64, *faults.Report, error) {
+	sched := s.opt.Faults
+	rep := &faults.Report{}
+	if sched != nil {
+		rep.Schedule = sched.Name
+	}
+	deadline := s.opt.deadline()
+	n := len(s.mapping)
+	clock := make([]float64, n)
+	egressFree := make([]float64, n)
+	ingressFree := make([]float64, n)
+	for i := 0; i < n; i++ {
+		clock[i], egressFree[i], ingressFree[i] = start, start, start
+	}
+	wanFree := map[[2]int]float64{}
+	span := start
+	for i, e := range events {
+		if e.Src < 0 || e.Src >= n || e.Dst < 0 || e.Dst >= n {
+			return 0, nil, fmt.Errorf("netsim: event %d endpoint out of range: %d→%d", i, e.Src, e.Dst)
+		}
+		if e.Src == e.Dst {
+			return 0, nil, fmt.Errorf("netsim: event %d is a self-send on process %d", i, e.Src)
+		}
+		if e.Bytes < 0 {
+			return 0, nil, fmt.Errorf("netsim: event %d has negative size", i)
+		}
+		rep.Messages++
+		k, l := s.mapping[e.Src], s.mapping[e.Dst]
+		lat := s.cloud.LT.At(k, l)
+		rate := s.nic[e.Src]
+		if r := s.nic[e.Dst]; r < rate {
+			rate = r
+		}
+		tS := math.Max(clock[e.Src], math.Max(egressFree[e.Src], ingressFree[e.Dst]))
+		var wanKey [2]int
+		shared := k != l && !s.opt.DedicatedWAN
+		if shared {
+			wanKey = [2]int{k, l}
+			if w, ok := wanFree[wanKey]; ok && w > tS {
+				tS = w
+			}
+		}
+
+		st := sched.Link(k, l, tS)
+		if st.Down {
+			r := sched.NextLinkRecovery(k, l, tS)
+			wait := r - tS
+			if math.IsInf(r, 1) || wait > deadline {
+				// The link will not come back in time: the sender probes
+				// for a full deadline, then abandons the message.
+				rep.Dropped++
+				rep.Retries += faults.AttemptsForWait(deadline, faults.DefaultBackoffBase, faults.DefaultBackoffCap)
+				rep.BlockedSeconds += deadline
+				end := tS + deadline
+				clock[e.Src] = end
+				egressFree[e.Src] = end
+				if end > span {
+					span = end
+				}
+				continue
+			}
+			rep.Retries += faults.AttemptsForWait(wait, faults.DefaultBackoffBase, faults.DefaultBackoffCap)
+			rep.BlockedSeconds += wait
+			tS = r
+			st = sched.Link(k, l, tS)
+		}
+		if k != l {
+			if bw := s.cloud.BT.At(k, l) * st.BWFactor; bw < rate {
+				rate = bw
+			}
+		}
+		lat *= st.LatFactor
+
+		attempts := 1
+		if st.LossProb > 0 && sched != nil {
+			attempts = faults.Attempts(sched.Seed, int64(i), st.LossProb, 0)
+		}
+		backoffWait := 0.0
+		if attempts > 1 {
+			rep.Retries += attempts - 1
+			backoffWait = faults.BackoffTotal(attempts-1, faults.DefaultBackoffBase, faults.DefaultBackoffCap)
+			rep.BlockedSeconds += backoffWait
+		}
+		end := tS + float64(e.Bytes)/rate*float64(attempts) + backoffWait
+		egressFree[e.Src] = end
+		ingressFree[e.Dst] = end
+		if shared {
+			wanFree[wanKey] = end
+		}
+		arrival := end + lat
+		clock[e.Src] = end
+		if arrival > clock[e.Dst] {
+			clock[e.Dst] = arrival
+		}
+		if arrival > span {
+			span = arrival
+		}
+	}
+	if sched != nil {
+		rep.DeadSites, rep.DegradedPairs = sched.Summary(s.cloud.M(), start, span)
+	}
+	return span - start, rep, nil
+}
+
+// SimulatePhaseFaulty runs the fluid engine on one set of concurrent
+// messages under the fault schedule's state at absolute time `start`
+// (faults are sampled per phase, the engine's natural granularity). It
+// returns the phase makespan and the fault report. Messages whose link is
+// down past the deadline are dropped from the fluid solve but still hold
+// their sender for the full deadline, which floors the makespan.
+func (s *Simulator) SimulatePhaseFaulty(msgs []Message, start float64) (float64, *faults.Report, error) {
+	sched := s.opt.Faults
+	rep := &faults.Report{}
+	if sched != nil {
+		rep.Schedule = sched.Name
+	}
+	deadline := s.opt.deadline()
+	flows, maxLatency, err := s.buildFlows(msgs)
+	if err != nil {
+		return 0, nil, err
+	}
+	rep.Messages = len(msgs)
+	makespan := maxLatency
+	kept := flows[:0]
+	for fi, f := range flows {
+		k, l := s.mapping[f.src], s.mapping[f.dst]
+		st := sched.Link(k, l, start)
+		delay := 0.0
+		if st.Down {
+			r := sched.NextLinkRecovery(k, l, start)
+			wait := r - start
+			if math.IsInf(r, 1) || wait > deadline {
+				rep.Dropped++
+				rep.Retries += faults.AttemptsForWait(deadline, faults.DefaultBackoffBase, faults.DefaultBackoffCap)
+				rep.BlockedSeconds += deadline
+				if deadline > makespan {
+					makespan = deadline
+				}
+				continue
+			}
+			delay = wait
+			rep.Retries += faults.AttemptsForWait(wait, faults.DefaultBackoffBase, faults.DefaultBackoffCap)
+			rep.BlockedSeconds += wait
+			st = sched.Link(k, l, r)
+		}
+		if st.LossProb > 0 && sched != nil {
+			if attempts := faults.Attempts(sched.Seed, int64(fi), st.LossProb, 0); attempts > 1 {
+				rep.Retries += attempts - 1
+				bo := faults.BackoffTotal(attempts-1, faults.DefaultBackoffBase, faults.DefaultBackoffCap)
+				delay += bo
+				rep.BlockedSeconds += bo
+				// Retransmissions resend the whole message.
+				f.remaining *= float64(attempts)
+			}
+		}
+		f.wanFactor = st.BWFactor
+		f.latency = f.latency*st.LatFactor + delay
+		kept = append(kept, f)
+	}
+	if len(kept) > 0 {
+		fluid, err := s.solveFluid(kept)
+		if err != nil {
+			return 0, nil, err
+		}
+		if fluid > makespan {
+			makespan = fluid
+		}
+	}
+	if sched != nil {
+		rep.DeadSites, rep.DegradedPairs = sched.Summary(s.cloud.M(), start, start+makespan)
+	}
+	return makespan, rep, nil
+}
+
+// SimulateIterationFaulty simulates one iteration — computeSeconds of
+// local work followed by the trace's communication sub-phases — starting
+// at absolute schedule time `start`, advancing the schedule clock through
+// the phases and merging their fault reports.
+func (s *Simulator) SimulateIterationFaulty(events []trace.Event, computeSeconds, start float64) (IterationResult, *faults.Report, error) {
+	if computeSeconds < 0 {
+		return IterationResult{}, nil, fmt.Errorf("netsim: negative compute time")
+	}
+	res := IterationResult{ComputeSeconds: computeSeconds}
+	rep := &faults.Report{}
+	t := start + computeSeconds
+	for _, phase := range PhasesFromEvents(events) {
+		dur, phaseRep, err := s.SimulatePhaseFaulty(phase, t)
+		if err != nil {
+			return IterationResult{}, nil, err
+		}
+		rep.Merge(phaseRep)
+		res.CommSeconds += dur
+		t += dur
+	}
+	return res, rep, nil
+}

@@ -1,0 +1,249 @@
+package netsim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"geoprocmap/internal/faults"
+	"geoprocmap/internal/trace"
+)
+
+// faultySim builds a simulator over testCloud with the given schedule.
+func faultySim(t *testing.T, sched *faults.Schedule) *Simulator {
+	t.Helper()
+	s, err := NewWithOptions(testCloud(), []int{0, 0, 1, 1}, Options{Faults: sched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestFaultyNilScheduleMatchesPlain(t *testing.T) {
+	events := []trace.Event{
+		{Src: 0, Dst: 2, Bytes: 10e6},
+		{Src: 2, Dst: 1, Bytes: 5e6},
+	}
+	msgs := []Message{{Src: 0, Dst: 2, Bytes: 10e6}, {Src: 1, Dst: 3, Bytes: 10e6}}
+	plain := testSim(t)
+	wantSpan, err := plain.ReplayTrace(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPhase, err := plain.SimulatePhase(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := faultySim(t, nil)
+	span, rep, err := s.ReplayTraceFaulty(events, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(span) != math.Float64bits(wantSpan) {
+		t.Errorf("faulty replay with nil schedule = %v, plain = %v", span, wantSpan)
+	}
+	if !rep.Empty() {
+		t.Errorf("nil schedule produced non-empty report: %v", rep)
+	}
+	phase, rep, err := s.SimulatePhaseFaulty(msgs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(phase) != math.Float64bits(wantPhase) {
+		t.Errorf("faulty phase with nil schedule = %v, plain = %v", phase, wantPhase)
+	}
+	if !rep.Empty() {
+		t.Errorf("nil schedule produced non-empty phase report: %v", rep)
+	}
+}
+
+func TestReplayBlocksUntilRecovery(t *testing.T) {
+	sched := &faults.Schedule{Name: "window", Events: []faults.Event{
+		{Kind: faults.LinkDown, Start: 0, End: 2, Src: 0, Dst: 1},
+	}}
+	s := faultySim(t, sched)
+	span, rep, err := s.ReplayTraceFaulty([]trace.Event{{Src: 0, Dst: 2, Bytes: 10e6}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Blocked until t=2, then 1 s transmission + 0.1 s propagation.
+	if want := 2 + 1 + 0.1; !almost(span, want, 1e-9) {
+		t.Errorf("span = %v, want %v", span, want)
+	}
+	if rep.Retries == 0 || !almost(rep.BlockedSeconds, 2, 1e-9) || rep.Dropped != 0 {
+		t.Errorf("report = %+v, want retries > 0, blocked 2 s, no drops", rep)
+	}
+}
+
+func TestReplayDropsAfterDeadline(t *testing.T) {
+	sched := &faults.Schedule{Name: "blackout", Events: []faults.Event{
+		{Kind: faults.SiteOutage, Start: 0, Site: 1}, // open-ended
+	}}
+	s := faultySim(t, sched)
+	span, rep, err := s.ReplayTraceFaulty([]trace.Event{{Src: 0, Dst: 2, Bytes: 10e6}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(span, DefaultFaultDeadline, 1e-9) {
+		t.Errorf("span = %v, want the %v s deadline", span, DefaultFaultDeadline)
+	}
+	if rep.Dropped != 1 || !almost(rep.BlockedSeconds, DefaultFaultDeadline, 1e-9) {
+		t.Errorf("report = %+v, want 1 drop and deadline blocked time", rep)
+	}
+	if !reflect.DeepEqual(rep.DeadSites, []int{1}) {
+		t.Errorf("DeadSites = %v, want [1]", rep.DeadSites)
+	}
+}
+
+func TestDegradationScalesRateAndLatency(t *testing.T) {
+	sched := &faults.Schedule{Name: "soft", Events: []faults.Event{
+		{Kind: faults.BandwidthDegrade, Start: 0, Src: faults.Wildcard, Dst: faults.Wildcard, Factor: 0.5},
+		{Kind: faults.LatencySpike, Start: 0, Src: faults.Wildcard, Dst: faults.Wildcard, Factor: 2},
+	}}
+	s := faultySim(t, sched)
+	span, rep, err := s.ReplayTraceFaulty([]trace.Event{{Src: 0, Dst: 2, Bytes: 10e6}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Half the 10 MB/s cross-site bandwidth and double the 0.1 s latency.
+	if want := 10e6/5e6 + 0.2; !almost(span, want, 1e-9) {
+		t.Errorf("replay span = %v, want %v", span, want)
+	}
+	phase, _, err := s.SimulatePhaseFaulty([]Message{{Src: 0, Dst: 2, Bytes: 10e6}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 10e6/5e6 + 0.2; !almost(phase, want, 1e-9) {
+		t.Errorf("phase makespan = %v, want %v", phase, want)
+	}
+	if len(rep.DegradedPairs) == 0 {
+		t.Error("degradation left DegradedPairs empty")
+	}
+	// Intra-site traffic is immune to wildcard WAN events.
+	span, _, err = s.ReplayTraceFaulty([]trace.Event{{Src: 0, Dst: 1, Bytes: 100e6}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 100e6/100e6 + 0.001; !almost(span, want, 1e-9) {
+		t.Errorf("intra-site span = %v, want healthy %v", span, want)
+	}
+}
+
+func TestLossForcesRetransmissions(t *testing.T) {
+	sched := &faults.Schedule{Name: "lossy", Seed: 7, Events: []faults.Event{
+		{Kind: faults.ProbeLoss, Start: 0, Src: faults.Wildcard, Dst: faults.Wildcard, Probability: 0.9},
+	}}
+	s := faultySim(t, sched)
+	events := []trace.Event{{Src: 0, Dst: 2, Bytes: 10e6}, {Src: 1, Dst: 3, Bytes: 10e6}}
+	span, rep, err := s.ReplayTraceFaulty(events, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthy, err := testSim(t).ReplayTrace(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if span <= healthy {
+		t.Errorf("lossy span %v not above healthy %v", span, healthy)
+	}
+	if rep.Retries == 0 || rep.BlockedSeconds == 0 {
+		t.Errorf("report = %+v, want retransmission accounting", rep)
+	}
+}
+
+func TestFaultyStartPositionsSchedule(t *testing.T) {
+	sched := &faults.Schedule{Name: "late-window", Events: []faults.Event{
+		{Kind: faults.LinkDown, Start: 5, End: 6, Src: 0, Dst: 1},
+	}}
+	s := faultySim(t, sched)
+	ev := []trace.Event{{Src: 0, Dst: 2, Bytes: 10e6}}
+	before, repB, err := s.ReplayTraceFaulty(ev, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	during, repD, err := s.ReplayTraceFaulty(ev, 5.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 1 + 0.1; !almost(before, want, 1e-9) || !repB.Empty() {
+		t.Errorf("start=0: span %v (want %v), report %+v", before, want, repB)
+	}
+	// Blocked from 5.5 until the window ends at 6, then the healthy cost.
+	if want := 0.5 + 1 + 0.1; !almost(during, want, 1e-9) || repD.Empty() {
+		t.Errorf("start=5.5: span %v (want %v), report %+v", during, want, repD)
+	}
+}
+
+func TestSimulateIterationFaultyMergesReports(t *testing.T) {
+	sched := &faults.Schedule{Name: "blackout", Events: []faults.Event{
+		{Kind: faults.SiteOutage, Start: 0, Site: 1},
+	}}
+	s := faultySim(t, sched)
+	events := []trace.Event{
+		{Src: 0, Dst: 2, Bytes: 1e6, Tag: 0},
+		{Src: 1, Dst: 3, Bytes: 1e6, Tag: 1},
+	}
+	res, rep, err := s.SimulateIterationFaulty(events, 0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Messages != 2 || rep.Dropped != 2 {
+		t.Errorf("report = %+v, want both messages dropped", rep)
+	}
+	if res.ComputeSeconds != 0.5 || res.CommSeconds <= 0 {
+		t.Errorf("result = %+v", res)
+	}
+	if _, _, err := s.SimulateIterationFaulty(events, -1, 0); err == nil {
+		t.Error("negative compute time accepted")
+	}
+}
+
+func TestPlainEntryPointsDelegateWhenFaulty(t *testing.T) {
+	sched := &faults.Schedule{Name: "soft", Events: []faults.Event{
+		{Kind: faults.BandwidthDegrade, Start: 0, Src: faults.Wildcard, Dst: faults.Wildcard, Factor: 0.5},
+	}}
+	s := faultySim(t, sched)
+	span, err := s.ReplayTrace([]trace.Event{{Src: 0, Dst: 2, Bytes: 10e6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 10e6/5e6 + 0.1; !almost(span, want, 1e-9) {
+		t.Errorf("ReplayTrace under faults = %v, want %v", span, want)
+	}
+	mk, err := s.SimulatePhase([]Message{{Src: 0, Dst: 2, Bytes: 10e6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 10e6/5e6 + 0.1; !almost(mk, want, 1e-9) {
+		t.Errorf("SimulatePhase under faults = %v, want %v", mk, want)
+	}
+}
+
+func TestFaultySeedDeterminism(t *testing.T) {
+	events := []trace.Event{
+		{Src: 0, Dst: 2, Bytes: 4 << 20},
+		{Src: 1, Dst: 3, Bytes: 4 << 20},
+		{Src: 2, Dst: 0, Bytes: 1 << 20},
+	}
+	run := func(seed int64) (float64, *faults.Report) {
+		c := testCloud()
+		s, err := NewWithOptions(c, []int{0, 0, 1, 1}, Options{Faults: faults.FlakyWAN(c.M(), seed)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		span, rep, err := s.ReplayTraceFaulty(events, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return span, rep
+	}
+	spanA, repA := run(42)
+	spanB, repB := run(42)
+	if math.Float64bits(spanA) != math.Float64bits(spanB) {
+		t.Errorf("same seed gave spans %v and %v", spanA, spanB)
+	}
+	if !reflect.DeepEqual(repA, repB) {
+		t.Errorf("same seed gave reports %+v and %+v", repA, repB)
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"math"
 	"sort"
 
+	"geoprocmap/internal/faults"
 	"geoprocmap/internal/netmodel"
 	"geoprocmap/internal/trace"
 )
@@ -53,6 +54,26 @@ type Options struct {
 	// The default (false) models each ordered site pair as one shared WAN
 	// pipe — more pessimistic and closer to real cross-region behavior.
 	DedicatedWAN bool
+	// Faults attaches a fault schedule. When non-nil, SimulatePhase and
+	// ReplayTrace consult the schedule (outages block senders until a
+	// deadline, degradations scale rates, losses force retransmissions)
+	// and the *Faulty variants additionally return a structured
+	// faults.Report. nil simulates a healthy network.
+	Faults *faults.Schedule
+	// FaultDeadline is how long a sender blocks on a dead link before
+	// abandoning the message (default 10 simulated seconds).
+	FaultDeadline float64
+}
+
+// DefaultFaultDeadline is the Options.FaultDeadline default.
+const DefaultFaultDeadline = 10.0
+
+// deadline returns the configured fault deadline.
+func (o Options) deadline() float64 {
+	if o.FaultDeadline > 0 {
+		return o.FaultDeadline
+	}
+	return DefaultFaultDeadline
 }
 
 // Simulator simulates communication phases of an application whose
@@ -115,8 +136,15 @@ func (s *Simulator) link(src, dst int) (capacity, latency float64, cross bool) {
 // SimulatePhase runs the event-driven engine on one set of concurrent
 // messages and returns the phase makespan: the time until the last message
 // is delivered (transmission under max-min fair rates plus the link's
-// propagation delay). An empty phase takes zero time.
+// propagation delay). An empty phase takes zero time. With Options.Faults
+// set, the phase is simulated under the schedule's state at time zero; use
+// SimulatePhaseFaulty to position the phase in time and receive the
+// structured fault report.
 func (s *Simulator) SimulatePhase(msgs []Message) (float64, error) {
+	if s.opt.Faults != nil {
+		makespan, _, err := s.SimulatePhaseFaulty(msgs, 0)
+		return makespan, err
+	}
 	flows, maxLatency, err := s.buildFlows(msgs)
 	if err != nil {
 		return 0, err
@@ -124,7 +152,20 @@ func (s *Simulator) SimulatePhase(msgs []Message) (float64, error) {
 	if len(flows) == 0 {
 		return maxLatency, nil
 	}
+	makespan, err := s.solveFluid(flows)
+	if err != nil {
+		return 0, err
+	}
+	if maxLatency > makespan {
+		makespan = maxLatency
+	}
+	return makespan, nil
+}
 
+// solveFluid registers the constraints of the flows (scaling each WAN
+// capacity by the flow's wanFactor) and runs the progressive-filling
+// event loop, returning the time of the last delivery.
+func (s *Simulator) solveFluid(flows []*flowState) (float64, error) {
 	// Constraint registry: WAN pipes (per ordered site pair) plus one
 	// egress and one ingress constraint per participating process.
 	reg := newConstraintSet()
@@ -134,9 +175,9 @@ func (s *Simulator) SimulatePhase(msgs []Message) (float64, error) {
 			if s.opt.DedicatedWAN {
 				// Per-flow rate cap at the site-pair bandwidth, no
 				// cross-flow contention on the WAN.
-				f.constraints = append(f.constraints, reg.id(conKey{kind: conFlowCap, a: fi}, s.cloud.BT.At(k, l)))
+				f.constraints = append(f.constraints, reg.id(conKey{kind: conFlowCap, a: fi}, s.cloud.BT.At(k, l)*f.wanFactor))
 			} else {
-				f.constraints = append(f.constraints, reg.id(conKey{kind: conLink, a: k, b: l}, s.cloud.BT.At(k, l)))
+				f.constraints = append(f.constraints, reg.id(conKey{kind: conLink, a: k, b: l}, s.cloud.BT.At(k, l)*f.wanFactor))
 			}
 		}
 		f.constraints = append(f.constraints,
@@ -172,9 +213,6 @@ func (s *Simulator) SimulatePhase(msgs []Message) (float64, error) {
 			next = append(next, f)
 		}
 		active = next
-	}
-	if maxLatency > makespan {
-		makespan = maxLatency
 	}
 	return makespan, nil
 }
@@ -240,6 +278,9 @@ type flowState struct {
 	remaining   float64
 	latency     float64
 	constraints []int
+	// wanFactor scales the flow's WAN capacity (bandwidth-degradation
+	// faults); 1 on a healthy network.
+	wanFactor float64
 }
 
 // buildFlows validates messages and returns the nonzero flows plus the
@@ -265,7 +306,7 @@ func (s *Simulator) buildFlows(msgs []Message) ([]*flowState, float64, error) {
 			}
 			continue
 		}
-		flows = append(flows, &flowState{src: m.Src, dst: m.Dst, remaining: m.Bytes, latency: lat})
+		flows = append(flows, &flowState{src: m.Src, dst: m.Dst, remaining: m.Bytes, latency: lat, wanFactor: 1})
 	}
 	return flows, maxLatency, nil
 }

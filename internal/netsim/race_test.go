@@ -3,9 +3,11 @@ package netsim
 import (
 	"fmt"
 	"math"
+	"reflect"
 	"sync"
 	"testing"
 
+	"geoprocmap/internal/faults"
 	"geoprocmap/internal/trace"
 )
 
@@ -65,6 +67,89 @@ func TestConcurrentReplayMatchesFreshRun(t *testing.T) {
 				}
 				if math.Float64bits(got) != math.Float64bits(refPhase) {
 					errs <- fmt.Errorf("concurrent phase makespan %v differs from fresh-run %v", got, refPhase)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestConcurrentFaultyMatchesFreshRun is the same contract under an active
+// outage schedule: a single shared fault-aware Simulator serves concurrent
+// SimulatePhaseFaulty and ReplayTraceFaulty calls, and every span and every
+// structured report must match a sequential fresh-run reference bitwise.
+// The schedule mixes a windowed link outage (senders block and recover), an
+// open-ended site outage (messages drop at the deadline) and wildcard loss
+// (hash-keyed retransmission draws), so all three fault paths are exercised
+// under the race detector.
+func TestConcurrentFaultyMatchesFreshRun(t *testing.T) {
+	sched := &faults.Schedule{Name: "race-mix", Seed: 99, Events: []faults.Event{
+		{Kind: faults.LinkDown, Start: 0, End: 1.5, Src: 0, Dst: 1},
+		{Kind: faults.SiteOutage, Start: 4, Site: 1},
+		{Kind: faults.ProbeLoss, Start: 0, Src: faults.Wildcard, Dst: faults.Wildcard, Probability: 0.3},
+	}}
+	newSim := func() *Simulator {
+		s, err := NewWithOptions(testCloud(), []int{0, 0, 1, 1}, Options{Faults: sched})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	shared := newSim()
+
+	events := []trace.Event{
+		{Src: 0, Dst: 2, Bytes: 4 << 20},
+		{Src: 1, Dst: 3, Bytes: 4 << 20},
+		{Src: 2, Dst: 0, Bytes: 1 << 20},
+		{Src: 3, Dst: 1, Bytes: 1 << 20},
+	}
+	msgs := []Message{
+		{Src: 0, Dst: 2, Bytes: 4 << 20},
+		{Src: 1, Dst: 3, Bytes: 4 << 20},
+		{Src: 3, Dst: 0, Bytes: 2 << 20},
+	}
+
+	refSpan, refSpanRep, err := newSim().ReplayTraceFaulty(events, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refPhase, refPhaseRep, err := newSim().SimulatePhaseFaulty(msgs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refSpanRep.Empty() || refPhaseRep.Empty() {
+		t.Fatalf("references report no faults: replay %+v, phase %+v", refSpanRep, refPhaseRep)
+	}
+
+	const workers = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				span, rep, err := shared.ReplayTraceFaulty(events, 0)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if math.Float64bits(span) != math.Float64bits(refSpan) || !reflect.DeepEqual(rep, refSpanRep) {
+					errs <- fmt.Errorf("concurrent faulty replay (%v, %+v) differs from fresh-run (%v, %+v)", span, rep, refSpan, refSpanRep)
+					return
+				}
+				mk, rep, err := shared.SimulatePhaseFaulty(msgs, 5)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if math.Float64bits(mk) != math.Float64bits(refPhase) || !reflect.DeepEqual(rep, refPhaseRep) {
+					errs <- fmt.Errorf("concurrent faulty phase (%v, %+v) differs from fresh-run (%v, %+v)", mk, rep, refPhase, refPhaseRep)
 					return
 				}
 			}

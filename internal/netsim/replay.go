@@ -28,8 +28,14 @@ import (
 //     the wavefront pipeline and collective stages serialize).
 //
 // The result is the communication span: the time of the last delivery (or
-// last send completion). Zero events take zero time.
+// last send completion). Zero events take zero time. With Options.Faults
+// set the replay runs fault-aware from time zero; use ReplayTraceFaulty to
+// position the replay in schedule time and receive the structured report.
 func (s *Simulator) ReplayTrace(events []trace.Event) (float64, error) {
+	if s.opt.Faults != nil {
+		span, _, err := s.ReplayTraceFaulty(events, 0)
+		return span, err
+	}
 	n := len(s.mapping)
 	clock := make([]float64, n)
 	egressFree := make([]float64, n)

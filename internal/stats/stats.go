@@ -29,6 +29,30 @@ func Mean(xs []float64) float64 {
 	return s / float64(len(xs))
 }
 
+// TrimmedMean returns the mean of xs after discarding the lowest and
+// highest frac fraction of the sorted sample (rounded down), the standard
+// outlier-robust estimator the calibrator uses to reject probe samples
+// inflated by transient WAN faults. frac is clamped to [0, 0.5); with
+// nothing left after trimming (or an empty slice) it returns Mean(xs).
+func TrimmedMean(xs []float64, frac float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	if frac >= 0.5 {
+		frac = 0.5
+	}
+	cut := int(frac * float64(len(xs)))
+	if 2*cut >= len(xs) {
+		return Mean(xs)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return Mean(sorted[cut : len(sorted)-cut])
+}
+
 // Variance returns the unbiased sample variance of xs (n-1 denominator).
 // It returns 0 for slices shorter than 2.
 func Variance(xs []float64) float64 {
