@@ -10,11 +10,12 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Repo-specific static analysis (internal/analysis via cmd/geolint).
-# Exits non-zero on any finding not suppressed by a justified
-# //geolint:ignore directive.
-lint:
-	$(GO) run ./cmd/geolint ./...
+# Repo-specific static analysis (internal/analysis via cmd/geolint), with
+# go vet alongside. Exits non-zero on any finding not suppressed by a
+# justified //geolint:ignore directive; -staleignores also fails on
+# directives that no longer suppress anything.
+lint: vet
+	$(GO) run ./cmd/geolint -staleignores ./...
 
 test:
 	$(GO) test ./...

@@ -233,7 +233,7 @@ func BenchmarkAblationGrouping(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				cost = inst.Problem.Cost(pl)
+				cost = inst.Problem.Cost(pl).Float()
 			}
 			b.ReportMetric(cost, "cost")
 		})
@@ -259,7 +259,7 @@ func BenchmarkAblationOrderSearch(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				cost = p.Cost(pl)
+				cost = p.Cost(pl).Float()
 			}
 			b.ReportMetric(cost, "cost")
 		})
@@ -298,7 +298,7 @@ func BenchmarkAblationCostModel(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				cost = p.Cost(pl) // evaluate on the TRUE model
+				cost = p.Cost(pl).Float() // evaluate on the TRUE model
 			}
 			b.ReportMetric(cost, "true-cost")
 		})
@@ -320,8 +320,8 @@ func BenchmarkAblationCalibration(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	b.ReportMetric(res.OverheadSeconds/60, "site-pair-min")
-	b.ReportMetric(calib.AllPairsOverheadSeconds(cloud.TotalNodes(), 60)/86400, "all-pairs-days")
+	b.ReportMetric(res.OverheadSeconds.Float()/60, "site-pair-min")
+	b.ReportMetric(calib.AllPairsOverheadSeconds(cloud.TotalNodes(), 60).Float()/86400, "all-pairs-days")
 }
 
 // BenchmarkAblationRefinement quantifies the optional exchange-refinement
@@ -343,7 +343,7 @@ func BenchmarkAblationRefinement(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				cost = p.Cost(pl)
+				cost = p.Cost(pl).Float()
 			}
 			b.ReportMetric(cost, "cost")
 		})

@@ -24,6 +24,7 @@ import (
 	"geoprocmap/internal/calib"
 	"geoprocmap/internal/faults"
 	"geoprocmap/internal/netmodel"
+	"geoprocmap/internal/units"
 )
 
 func main() {
@@ -79,10 +80,10 @@ func main() {
 	latErr, bwErr := res.RelativeErrors(cloud)
 	fmt.Printf("\nmean relative error vs ground truth: latency %.1f%%, bandwidth %.1f%%\n", latErr*100, bwErr*100)
 
-	allPairs := calib.AllPairsOverheadSeconds(cloud.TotalNodes(), 60)
+	allPairs := calib.AllPairsOverheadSeconds(cloud.TotalNodes(), units.Seconds(60))
 	fmt.Printf("\ncalibration overhead (1 min/session):\n")
-	fmt.Printf("  site pairs (this tool):  %.0f minutes (%d sessions)\n", res.OverheadSeconds/60, res.SitePairSessions)
-	fmt.Printf("  all node pairs:          %.1f days (%d nodes)\n", allPairs/86400, cloud.TotalNodes())
+	fmt.Printf("  site pairs (this tool):  %.0f minutes (%d sessions)\n", res.OverheadSeconds.Float()/60, res.SitePairSessions)
+	fmt.Printf("  all node pairs:          %.1f days (%d nodes)\n", allPairs.Float()/86400, cloud.TotalNodes())
 
 	if sched != nil {
 		fmt.Printf("\nfault schedule %q:\n", sched.Name)

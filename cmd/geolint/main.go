@@ -5,12 +5,19 @@
 //
 // Usage:
 //
-//	go run ./cmd/geolint ./...              # whole module
-//	go run ./cmd/geolint ./internal/...    # one subtree
-//	go run ./cmd/geolint -rules            # list the rules
+//	go run ./cmd/geolint ./...                # whole module
+//	go run ./cmd/geolint ./internal/...      # one subtree
+//	go run ./cmd/geolint -rules              # list the rules
+//	go run ./cmd/geolint -json ./...         # machine-readable findings
+//	go run ./cmd/geolint -staleignores ./... # also report unused ignores
+//
+// The plain-text output ("path:line:col: rule: message") matches the
+// GitHub Actions problem matcher in .github/geolint-matcher.json, so CI
+// findings surface as PR diff annotations.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,10 +26,21 @@ import (
 	"geoprocmap/internal/analysis"
 )
 
+// jsonFinding is the -json wire format, one object per finding.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
 func main() {
 	listRules := flag.Bool("rules", false, "list the rules and exit")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	staleIgnores := flag.Bool("staleignores", false, "also report //geolint:ignore directives that suppress nothing")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: geolint [-rules] [patterns]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: geolint [-rules] [-json] [-staleignores] [patterns]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -61,18 +79,41 @@ func main() {
 				p.Path, len(p.TypeErrors), p.TypeErrors[0])
 		}
 	}
-	findings := analysis.Run(passes, rules)
-	for _, f := range findings {
-		pos := f.Pos
-		if rel, err := filepath.Rel(root, pos.Filename); err == nil {
-			pos.Filename = rel
+	findings := analysis.RunWith(passes, rules, analysis.RunOptions{StaleIgnores: *staleIgnores})
+	if *asJSON {
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, jsonFinding{
+				File:    relTo(root, f.Pos.Filename),
+				Line:    f.Pos.Line,
+				Column:  f.Pos.Column,
+				Rule:    f.Rule,
+				Message: f.Message,
+			})
 		}
-		fmt.Printf("%s:%d:%d: %s: %s\n", pos.Filename, pos.Line, pos.Column, f.Rule, f.Message)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "geolint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Printf("%s:%d:%d: %s: %s\n", relTo(root, f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Rule, f.Message)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "geolint: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
+}
+
+// relTo shortens path relative to root when possible.
+func relTo(root, path string) string {
+	if rel, err := filepath.Rel(root, path); err == nil {
+		return rel
+	}
+	return path
 }
 
 // moduleRoot walks up from the working directory to the nearest go.mod.

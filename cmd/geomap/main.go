@@ -87,7 +87,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		randCost += inst.Problem.Cost(rp)
+		randCost += inst.Problem.Cost(rp).Float()
 	}
 	randCost /= refs
 
@@ -96,7 +96,7 @@ func main() {
 	fmt.Printf("algorithm:     %s (overhead %v)\n", mapper.Name(), dur.Round(dur/1000+1))
 	fmt.Printf("cost:          %.4f (α–β model, seconds of aggregate transfer)\n", cost)
 	fmt.Printf("baseline cost: %.4f (mean of %d random mappings)\n", randCost, refs)
-	fmt.Printf("improvement:   %.1f%%\n", experiments.ImprovementPct(randCost, cost))
+	fmt.Printf("improvement:   %.1f%%\n", experiments.ImprovementPct(randCost, cost.Float()))
 	fmt.Println("processes per site:")
 	counts := pl.Histogram(cloud.M())
 	for j, c := range counts {
@@ -104,7 +104,7 @@ func main() {
 	}
 	if st, err := inst.Problem.Diagnose(pl); err == nil {
 		fmt.Printf("cross-WAN traffic: %.1f%% of volume (%.2f MB, %d messages)\n",
-			100*st.CrossFraction(), st.CrossVolume/1e6, int(st.CrossMsgs))
+			100*st.CrossFraction(), st.CrossVolume.Float()/1e6, int(st.CrossMsgs))
 		for _, f := range st.TopWANFlows(3) {
 			fmt.Printf("  heaviest WAN flow: %s → %s, %.2f MB\n",
 				cloud.Sites[int(f[0])].Region.Name, cloud.Sites[int(f[1])].Region.Name, f[2]/1e6)
@@ -131,7 +131,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := core.WritePlacementJSON(f, mapper.Name(), cost, pl); err != nil {
+		if err := core.WritePlacementJSON(f, mapper.Name(), cost.Float(), pl); err != nil {
 			fatal(err)
 		}
 		if err := f.Close(); err != nil {

@@ -104,5 +104,5 @@ func main() {
 	fmt.Printf("  regional sets (any EU / any US / any APAC site):  cost %.3f\n", regional.Cost(regPl))
 	fmt.Printf("  single-site pins (paper's original model):        cost %.3f\n", pinned.Cost(pinPl))
 	fmt.Printf("\nthe multi-site sets leave the optimizer room: %.1f%% cheaper than hard pins\n",
-		(pinned.Cost(pinPl)-regional.Cost(regPl))/pinned.Cost(pinPl)*100)
+		(pinned.Cost(pinPl)-regional.Cost(regPl)).Float()/pinned.Cost(pinPl).Float()*100)
 }

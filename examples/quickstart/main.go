@@ -48,7 +48,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("calibrated %d site-pair sessions in %.0f simulated minutes\n",
-		cal.SitePairSessions, cal.OverheadSeconds/60)
+		cal.SitePairSessions, cal.OverheadSeconds.Float()/60)
 
 	// 4. Assemble the mapping problem. No data-movement constraints here;
 	// see examples/privacy for pinned processes.
@@ -97,5 +97,5 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("simulated comm time per iteration: geo %.2fs vs random %.2fs (%.0f%% faster)\n",
-		tGeo, tRand, (tRand-tGeo)/tRand*100)
+		tGeo, tRand, (tRand-tGeo).Float()/tRand.Float()*100)
 }

@@ -11,6 +11,19 @@
 //	floatcmp      no ==/!= between float expressions in cost/mapping code
 //	ctxgoroutine  goroutines in the simulators must be cancelable (select
 //	              on a done/quit channel) or tracked by a sync.WaitGroup
+//	unitcheck     dimensional analysis of the α–β model's unit types
+//	              (//geolint:unit): no mixed-unit arithmetic laundered
+//	              through float64, no bare literals where a unit is wanted,
+//	              no unit-to-unit conversions bypassing the helpers
+//	mapiter       map iteration order must not reach returned values,
+//	              appended slices (unless sorted), formatted output, or
+//	              channel sends — the determinism dataflow rule
+//	errcheck      no silently discarded error returns in internal/...
+//
+// Rules that need module-wide knowledge implement FactExporter; Run drives
+// a fact phase over every package before any rule checks, so (for example)
+// the unit types declared in internal/units are recognized from every
+// importing package.
 //
 // Findings can be suppressed with a justified ignore directive on the
 // offending line or the line above:
@@ -61,6 +74,15 @@ type Pass struct {
 	// TypeErrors collects type-checker diagnostics for this package.
 	// Non-empty TypeErrors means typed rules may have reduced coverage.
 	TypeErrors []error
+	// Facts is the module-wide fact set, populated by Run before any
+	// rule's Check is called. Nil when rules are invoked outside Run.
+	Facts *FactSet
+	// FactsOnly marks a package loaded solely because a pattern-matched
+	// package imports it: it contributes facts (unit-type declarations)
+	// but is not checked. Without this, linting a subtree would silently
+	// lose the unitcheck rule whenever internal/units fell outside the
+	// pattern.
+	FactsOnly bool
 }
 
 // Rule is one geolint check.
@@ -81,19 +103,50 @@ func DefaultRules() []Rule {
 		&FloatCmpRule{},
 		&CtxGoroutineRule{},
 		&SleepRetryRule{},
+		&UnitCheckRule{},
+		&MapIterRule{},
+		&ErrCheckRule{},
 	}
+}
+
+// RunOptions tunes Run's behavior beyond the plain rule sweep.
+type RunOptions struct {
+	// StaleIgnores additionally reports every well-formed ignore
+	// directive (per named rule) that suppressed no finding during the
+	// run, under the pseudo-rule "geolint".
+	StaleIgnores bool
 }
 
 // Run applies the rules to every package, filters findings through the
 // ignore directives, appends diagnostics for malformed directives, and
 // returns the surviving findings sorted by position.
 func Run(passes []*Pass, rules []Rule) []Finding {
+	return RunWith(passes, rules, RunOptions{})
+}
+
+// RunWith is Run with options. It proceeds in two phases: first every rule
+// implementing FactExporter sees every pass, building the module-wide
+// FactSet; then every rule checks every pass with the completed facts
+// available on Pass.Facts.
+func RunWith(passes []*Pass, rules []Rule, opt RunOptions) []Finding {
+	facts := NewFactSet()
+	for _, r := range rules {
+		if fe, ok := r.(FactExporter); ok {
+			for _, p := range passes {
+				fe.ExportFacts(p, facts)
+			}
+		}
+	}
 	known := map[string]bool{}
 	for _, r := range rules {
 		known[r.ID()] = true
 	}
 	var out []Finding
 	for _, p := range passes {
+		p.Facts = facts
+		if p.FactsOnly {
+			continue
+		}
 		ig, malformed := collectIgnores(p, known)
 		out = append(out, malformed...)
 		for _, r := range rules {
@@ -103,6 +156,9 @@ func Run(passes []*Pass, rules []Rule) []Finding {
 				}
 				out = append(out, f)
 			}
+		}
+		if opt.StaleIgnores {
+			out = append(out, ig.stale()...)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {

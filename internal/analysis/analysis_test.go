@@ -27,6 +27,9 @@ func TestRuleGolden(t *testing.T) {
 		{"floatcmp", "geoprocmap/internal/core/fixture", &FloatCmpRule{}},
 		{"ctxgoroutine", "geoprocmap/internal/mpi/fixture", &CtxGoroutineRule{}},
 		{"sleepretry", "geoprocmap/internal/fixture", &SleepRetryRule{}},
+		{"unitcheck", "geoprocmap/internal/core/fixture", &UnitCheckRule{}},
+		{"mapiter", "geoprocmap/internal/fixture", &MapIterRule{}},
+		{"errcheck", "geoprocmap/internal/fixture", &ErrCheckRule{}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -5,72 +5,141 @@ import (
 	"strings"
 )
 
-// ignorePrefix is the suppression directive. Full form:
+// Suppression directive. Full forms:
 //
-//	//geolint:ignore <rule> <one-line justification>
+//	//geolint:ignore <rule>[,<rule>...] <one-line justification>
+//	/*geolint:ignore <rule>[,<rule>...] <one-line justification>*/
 //
-// The directive suppresses findings of <rule> on its own line and on the
-// line immediately below (so it can trail the offending statement or sit
-// on its own line above it).
-const ignorePrefix = "//geolint:ignore"
+// The directive suppresses findings of the named rules on its own line and
+// on the line immediately below (so it can trail the offending statement
+// or sit on its own line above it). The block-comment form must fit on a
+// single line; a directive buried mid-way through a multi-line comment is
+// not recognized.
+const (
+	ignoreLinePrefix  = "//geolint:ignore"
+	ignoreBlockPrefix = "/*geolint:ignore"
+)
 
-// ignoreSet maps filename → line → rule IDs suppressed at that line.
-type ignoreSet map[string]map[int]map[string]bool
-
-func (ig ignoreSet) add(file string, line int, rule string) {
-	byLine := ig[file]
-	if byLine == nil {
-		byLine = map[int]map[string]bool{}
-		ig[file] = byLine
-	}
-	rules := byLine[line]
-	if rules == nil {
-		rules = map[string]bool{}
-		byLine[line] = rules
-	}
-	rules[rule] = true
+// directive is one parsed, well-formed ignore comment. The stale-ignore
+// check reports every (directive, rule) pair that suppressed nothing, so
+// usage is tracked per rule.
+type directive struct {
+	pos   token.Position
+	rules []string
+	used  map[string]bool
 }
 
-func (ig ignoreSet) suppressed(f Finding) bool {
-	return ig[f.Pos.Filename][f.Pos.Line][f.Rule]
+// ignoreSet indexes directives by filename → line → rule. A directive is
+// registered at both its own line and the next, pointing at the same
+// *directive so suppression at either line marks it used.
+type ignoreSet struct {
+	byLine map[string]map[int]map[string][]*directive
+	all    []*directive
+}
+
+func newIgnoreSet() *ignoreSet {
+	return &ignoreSet{byLine: map[string]map[int]map[string][]*directive{}}
+}
+
+func (ig *ignoreSet) add(d *directive) {
+	ig.all = append(ig.all, d)
+	byLine := ig.byLine[d.pos.Filename]
+	if byLine == nil {
+		byLine = map[int]map[string][]*directive{}
+		ig.byLine[d.pos.Filename] = byLine
+	}
+	for _, line := range []int{d.pos.Line, d.pos.Line + 1} {
+		rules := byLine[line]
+		if rules == nil {
+			rules = map[string][]*directive{}
+			byLine[line] = rules
+		}
+		for _, r := range d.rules {
+			rules[r] = append(rules[r], d)
+		}
+	}
+}
+
+// suppressed reports whether a directive covers f, marking every covering
+// directive as used for f's rule.
+func (ig *ignoreSet) suppressed(f Finding) bool {
+	ds := ig.byLine[f.Pos.Filename][f.Pos.Line][f.Rule]
+	for _, d := range ds {
+		d.used[f.Rule] = true
+	}
+	return len(ds) > 0
+}
+
+// stale returns one finding per (directive, rule) pair that suppressed no
+// finding during the run. Reported under the pseudo-rule "geolint" like
+// malformed directives, and similarly unsuppressable: a stale exemption
+// must be deleted, not excused.
+func (ig *ignoreSet) stale() []Finding {
+	var out []Finding
+	for _, d := range ig.all {
+		for _, r := range d.rules {
+			if !d.used[r] {
+				out = append(out, Finding{
+					Rule: "geolint", Pos: d.pos,
+					Message: "stale ignore directive: no " + quote(r) + " finding on this or the next line; delete it",
+				})
+			}
+		}
+	}
+	return out
 }
 
 // collectIgnores scans every comment of the pass for ignore directives.
-// Well-formed directives (known rule, non-empty justification) populate
+// Well-formed directives (known rules, non-empty justification) populate
 // the returned ignoreSet; malformed ones become findings under the
 // pseudo-rule "geolint" and suppress nothing.
-func collectIgnores(p *Pass, knownRules map[string]bool) (ignoreSet, []Finding) {
-	ig := ignoreSet{}
+func collectIgnores(p *Pass, knownRules map[string]bool) (*ignoreSet, []Finding) {
+	ig := newIgnoreSet()
 	var malformed []Finding
 	for _, sf := range p.Files {
 		for _, cg := range sf.AST.Comments {
 			for _, c := range cg.List {
-				if !strings.HasPrefix(c.Text, ignorePrefix) {
+				var rest string
+				switch {
+				case strings.HasPrefix(c.Text, ignoreLinePrefix):
+					rest = strings.TrimPrefix(c.Text, ignoreLinePrefix)
+				case strings.HasPrefix(c.Text, ignoreBlockPrefix) &&
+					strings.HasSuffix(c.Text, "*/") && !strings.Contains(c.Text, "\n"):
+					rest = strings.TrimSuffix(strings.TrimPrefix(c.Text, ignoreBlockPrefix), "*/")
+				default:
 					continue
 				}
 				pos := p.Fset.Position(c.Pos())
-				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
-				fields := strings.Fields(rest)
+				fields := strings.Fields(strings.TrimSpace(rest))
 				switch {
 				case len(fields) == 0:
 					malformed = append(malformed, Finding{
 						Rule: "geolint", Pos: pos,
 						Message: "ignore directive is missing a rule ID and justification: want //geolint:ignore <rule> <reason>",
 					})
-				case !knownRules[fields[0]]:
-					malformed = append(malformed, Finding{
-						Rule: "geolint", Pos: pos,
-						Message: "ignore directive names unknown rule " + quote(fields[0]),
-					})
+					continue
 				case len(fields) == 1:
 					malformed = append(malformed, Finding{
 						Rule: "geolint", Pos: pos,
 						Message: "ignore directive for " + quote(fields[0]) + " has no justification: want //geolint:ignore <rule> <reason>",
 					})
-				default:
-					ig.add(pos.Filename, pos.Line, fields[0])
-					ig.add(pos.Filename, pos.Line+1, fields[0])
+					continue
 				}
+				rules := strings.Split(fields[0], ",")
+				ok := true
+				for _, r := range rules {
+					if !knownRules[r] {
+						malformed = append(malformed, Finding{
+							Rule: "geolint", Pos: pos,
+							Message: "ignore directive names unknown rule " + quote(r),
+						})
+						ok = false
+					}
+				}
+				if !ok {
+					continue
+				}
+				ig.add(&directive{pos: pos, rules: rules, used: map[string]bool{}})
 			}
 		}
 	}

@@ -1,0 +1,168 @@
+package analysis
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parsePass wraps one source string as a single-file Pass. The globalrand
+// rule used by these tests is purely syntactic, so no type info is needed.
+func parsePass(t *testing.T, src string) *Pass {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Pass{
+		Fset:  fset,
+		Path:  "geoprocmap/internal/fixture",
+		Files: []*SourceFile{{Name: "fixture.go", AST: f}},
+	}
+}
+
+func ruleLines(findings []Finding) map[string]bool {
+	out := map[string]bool{}
+	for _, f := range findings {
+		out[fmt.Sprintf("%s:%d", f.Rule, f.Pos.Line)] = true
+	}
+	return out
+}
+
+// TestIgnoreBlockComment covers the single-line /*geolint:ignore ...*/
+// form: it suppresses like the line-comment form, while a directive
+// buried inside a multi-line block comment is not recognized (and is not
+// reported as malformed either — it is documentation, not a directive).
+func TestIgnoreBlockComment(t *testing.T) {
+	src := `package fixture
+
+import "math/rand"
+
+func a() float64 {
+	return rand.Float64() /*geolint:ignore globalrand single-line block form suppresses*/
+}
+
+/*
+geolint:ignore globalrand buried mid-comment, not a directive
+*/
+func b() float64 {
+	return rand.Float64()
+}
+`
+	got := ruleLines(Run([]*Pass{parsePass(t, src)}, []Rule{&GlobalRandRule{}}))
+	if got["globalrand:6"] {
+		t.Error("block-comment directive did not suppress the same-line finding")
+	}
+	if !got["globalrand:13"] {
+		t.Errorf("finding under a multi-line comment should survive; got %v", keys(got))
+	}
+	if got["geolint:9"] || got["geolint:10"] {
+		t.Error("a multi-line comment mentioning the directive must not be parsed as one")
+	}
+}
+
+// TestIgnoreMultipleRules covers the comma-separated rule list: each named
+// rule is suppressed by the one directive, and a list containing an
+// unknown rule is rejected wholesale.
+func TestIgnoreMultipleRules(t *testing.T) {
+	src := `package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func a() {
+	//geolint:ignore globalrand,sleepretry both findings on the next line are justified
+	for rand.Float64() < 0.5 { time.Sleep(time.Millisecond) }
+}
+
+func b() float64 {
+	return rand.Float64() //geolint:ignore globalrand,nosuchrule one bad ID poisons the list
+}
+`
+	rules := []Rule{&GlobalRandRule{}, &SleepRetryRule{}}
+	got := ruleLines(Run([]*Pass{parsePass(t, src)}, rules))
+	for _, suppressed := range []string{"globalrand:10", "sleepretry:10"} {
+		if got[suppressed] {
+			t.Errorf("finding %s should be suppressed by the multi-rule directive; got %v", suppressed, keys(got))
+		}
+	}
+	if !got["geolint:14"] {
+		t.Errorf("unknown rule in a list must be reported; got %v", keys(got))
+	}
+	if !got["globalrand:14"] {
+		t.Errorf("a rejected list must suppress nothing; got %v", keys(got))
+	}
+}
+
+// TestIgnoreOnLastLine covers a directive on the file's final line: it
+// must parse (no trailing newline edge cases) and its nonexistent "next
+// line" must not trip anything.
+func TestIgnoreOnLastLine(t *testing.T) {
+	src := `package fixture
+
+import "math/rand"
+
+func a() float64 {
+	return rand.Float64()
+} //geolint:ignore globalrand directive on the last line suppresses nothing here`
+	findings := Run([]*Pass{parsePass(t, src)}, []Rule{&GlobalRandRule{}})
+	got := ruleLines(findings)
+	if !got["globalrand:6"] {
+		t.Errorf("finding two lines above a last-line directive must survive; got %v", keys(got))
+	}
+	for _, f := range findings {
+		if f.Rule == "geolint" {
+			t.Errorf("well-formed last-line directive reported as malformed: %s", f)
+		}
+	}
+}
+
+// TestStaleIgnores covers RunOptions.StaleIgnores: a directive (or one
+// rule of a multi-rule directive) that suppressed nothing is reported
+// under the pseudo-rule "geolint"; used directives are not.
+func TestStaleIgnores(t *testing.T) {
+	src := `package fixture
+
+import "math/rand"
+
+func a() float64 {
+	return rand.Float64() //geolint:ignore globalrand used: suppresses this line's finding
+}
+
+func b() int {
+	return 3 //geolint:ignore globalrand stale: no finding here
+}
+
+func c() float64 {
+	return rand.Float64() //geolint:ignore globalrand,sleepretry half stale: only globalrand fires
+}
+`
+	rules := []Rule{&GlobalRandRule{}, &SleepRetryRule{}}
+	findings := RunWith([]*Pass{parsePass(t, src)}, rules, RunOptions{StaleIgnores: true})
+	var stale []string
+	for _, f := range findings {
+		if f.Rule != "geolint" || !strings.Contains(f.Message, "stale") {
+			t.Errorf("unexpected finding: %s", f)
+			continue
+		}
+		stale = append(stale, fmt.Sprintf("%d:%s", f.Pos.Line, f.Message))
+	}
+	if len(stale) != 2 {
+		t.Fatalf("got %d stale reports, want 2: %v", len(stale), stale)
+	}
+	if !strings.Contains(stale[0], "globalrand") || !strings.HasPrefix(stale[0], "10:") {
+		t.Errorf("first stale report should name globalrand at line 10: %s", stale[0])
+	}
+	if !strings.Contains(stale[1], "sleepretry") || !strings.HasPrefix(stale[1], "14:") {
+		t.Errorf("second stale report should name sleepretry at line 14: %s", stale[1])
+	}
+	// Without the option the same tree is clean.
+	if extra := Run([]*Pass{parsePass(t, src)}, rules); len(extra) != 0 {
+		t.Errorf("stale directives must not be reported by default: %v", extra)
+	}
+}

@@ -56,12 +56,23 @@ func Load(cfg Config) ([]*Pass, error) {
 		return nil, err
 	}
 	var out []*Pass
+	matched := map[*Pass]bool{}
 	for _, dir := range dirs {
 		p, err := l.load(dir)
 		if err != nil {
 			return nil, err
 		}
 		if p != nil {
+			out = append(out, p)
+			matched[p] = true
+		}
+	}
+	// Packages pulled in only as imports of the matched set still carry
+	// facts (unit-type declarations); hand them to Run as fact-only
+	// passes so subtree patterns don't lose cross-package rules.
+	for _, p := range l.passes {
+		if p != nil && !matched[p] {
+			p.FactsOnly = true
 			out = append(out, p)
 		}
 	}

@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrCheckRule flags silently discarded error returns in internal/...:
+// a call whose last result is an error, used as a bare statement (or the
+// call of a go/defer) without consuming any result. A dropped error in
+// the calibration or experiment pipeline turns an I/O or validation
+// failure into silently wrong numbers, which is worse than a crash.
+//
+// Consuming the error explicitly with `_ = f()` is allowed — it is
+// greppable and states intent. Writers that cannot fail are exempt:
+// fmt.Print*/Fprint* to a strings.Builder, bytes.Buffer, or os.Stdout/
+// os.Stderr, and the Write*/String methods of strings.Builder and
+// bytes.Buffer themselves (their errors are documented nil).
+type ErrCheckRule struct{}
+
+func (*ErrCheckRule) ID() string { return "errcheck" }
+
+func (*ErrCheckRule) Doc() string {
+	return "flag discarded error returns in internal/... ; handle the error or assign it to _ explicitly"
+}
+
+func (r *ErrCheckRule) inScope(path string) bool {
+	return strings.Contains(path, "/internal/")
+}
+
+func (r *ErrCheckRule) Check(p *Pass) []Finding {
+	if !r.inScope(p.Path) || p.Info == nil {
+		return nil
+	}
+	var out []Finding
+	for _, sf := range p.Files {
+		if sf.Test {
+			continue
+		}
+		ast.Inspect(sf.AST, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			var how string
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if c, ok := n.X.(*ast.CallExpr); ok {
+					call, how = c, "discarded"
+				}
+			case *ast.GoStmt:
+				call, how = n.Call, "discarded by go statement"
+			case *ast.DeferStmt:
+				call, how = n.Call, "discarded by defer"
+			}
+			if call == nil || !r.returnsError(p, call) || r.exempt(p, call) {
+				return true
+			}
+			out = append(out, Finding{
+				Rule: "errcheck",
+				Pos:  p.position(call.Pos()),
+				Message: "error returned by " + callName(call) + " is " + how +
+					"; handle it or assign it to _ explicitly",
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// returnsError reports whether the call's last result is the error type.
+func (r *ErrCheckRule) returnsError(p *Pass, call *ast.CallExpr) bool {
+	tv, ok := p.Info.Types[call.Fun]
+	if !ok || tv.IsType() { // conversions return no error
+		return false
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return false // builtins
+	}
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	last := res.At(res.Len() - 1).Type()
+	return types.Identical(last, types.Universe.Lookup("error").Type())
+}
+
+// exempt allowlists writers that cannot fail.
+func (r *ErrCheckRule) exempt(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	name := sel.Sel.Name
+	if pkg, ok := sel.X.(*ast.Ident); ok && pkg.Name == "fmt" {
+		if strings.HasPrefix(name, "Print") {
+			return true // stdout prints in diagnostics
+		}
+		if strings.HasPrefix(name, "Fprint") && len(call.Args) > 0 {
+			return infallibleWriter(p, call.Args[0])
+		}
+		return false
+	}
+	// Methods of strings.Builder and bytes.Buffer document a nil error.
+	return infallibleWriter(p, sel.X)
+}
+
+// infallibleWriter reports whether e is a writer whose Write methods
+// cannot return a non-nil error: *strings.Builder, *bytes.Buffer, or the
+// process's own stdout/stderr.
+func infallibleWriter(p *Pass, e ast.Expr) bool {
+	if sel, ok := ast.Unparen(e).(*ast.SelectorExpr); ok {
+		if pkg, ok := sel.X.(*ast.Ident); ok && pkg.Name == "os" &&
+			(sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr") {
+			return true
+		}
+	}
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	pkg, typ := named.Obj().Pkg().Path(), named.Obj().Name()
+	return (pkg == "strings" && typ == "Builder") || (pkg == "bytes" && typ == "Buffer")
+}
+
+// callName renders the called expression for the finding message.
+func callName(call *ast.CallExpr) string {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		if x, ok := f.X.(*ast.Ident); ok {
+			return x.Name + "." + f.Sel.Name
+		}
+		return f.Sel.Name
+	}
+	return "call"
+}

@@ -1,0 +1,206 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapIterRule is the determinism dataflow rule: Go randomizes map
+// iteration order, so anything order-sensitive computed inside a
+// `for ... range m` over a map can differ between two runs with identical
+// seeds — breaking the bit-identical reproducibility the experiment
+// pipeline (and TestSeedDeterminism) is built on. The rule flags, inside
+// the body of a map range:
+//
+//   - appends to a slice that is never passed to a sort.* or slices.Sort*
+//     call anywhere in the same function (the sorted collect-then-order
+//     idiom is the approved fix and is exempt);
+//   - formatted output (fmt.Print*/Fprint*/Sprint* and Write* methods),
+//     which emits lines in iteration order;
+//   - channel sends, which publish values in iteration order;
+//   - string concatenation onto an outer variable (s += k), which bakes
+//     the order into the value.
+//
+// Commutative accumulation — numeric sums, max/min folds, counting,
+// writes into another map — is order-insensitive and is not flagged.
+// Cross-function flows (append here, sort in the caller) are beyond the
+// per-function analysis; annotate those with
+// //geolint:ignore mapiter <reason>.
+type MapIterRule struct{}
+
+func (*MapIterRule) ID() string { return "mapiter" }
+
+func (*MapIterRule) Doc() string {
+	return "flag map iteration whose order reaches appended slices (unless sorted), formatted output, channel sends, or string concatenation"
+}
+
+func (r *MapIterRule) Check(p *Pass) []Finding {
+	if p.Info == nil {
+		return nil
+	}
+	var out []Finding
+	for _, sf := range p.Files {
+		if sf.Test {
+			continue
+		}
+		walkFuncs(sf.AST, func(fd *ast.FuncDecl) {
+			if fd.Body == nil {
+				return
+			}
+			sorted := sortedVars(fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok || !r.isMapRange(p, rs) {
+					return true
+				}
+				r.checkBody(p, rs.Body, sorted, &out)
+				return true
+			})
+		})
+	}
+	return out
+}
+
+// isMapRange reports whether rs ranges over a map-typed expression.
+func (r *MapIterRule) isMapRange(p *Pass, rs *ast.RangeStmt) bool {
+	tv, ok := p.Info.Types[rs.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// checkBody scans one map-range body for order-sensitive sinks.
+func (r *MapIterRule) checkBody(p *Pass, body *ast.BlockStmt, sorted map[string]bool, out *[]Finding) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			r.checkAssign(p, n, sorted, out)
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok && isOrderedOutputCall(call) {
+				*out = append(*out, Finding{
+					Rule:    "mapiter",
+					Pos:     p.position(call.Pos()),
+					Message: "formatted output inside a map range emits in iteration order; collect the keys, sort them, and range over the sorted slice",
+				})
+			}
+		case *ast.SendStmt:
+			*out = append(*out, Finding{
+				Rule:    "mapiter",
+				Pos:     p.position(n.Arrow),
+				Message: "channel send inside a map range publishes values in iteration order; iterate sorted keys instead",
+			})
+		}
+		return true
+	})
+}
+
+// checkAssign flags order-sensitive assignments in a map-range body:
+// unsorted appends and string concatenation.
+func (r *MapIterRule) checkAssign(p *Pass, as *ast.AssignStmt, sorted map[string]bool, out *[]Finding) {
+	// s += expr onto a string accumulates in iteration order.
+	if as.Tok == token.ADD_ASSIGN && len(as.Lhs) == 1 {
+		if t, ok := p.Info.Types[as.Lhs[0]]; ok && isString(t.Type) {
+			*out = append(*out, Finding{
+				Rule:    "mapiter",
+				Pos:     p.position(as.Pos()),
+				Message: "string concatenation inside a map range bakes iteration order into the value; iterate sorted keys instead",
+			})
+			return
+		}
+	}
+	// v = append(v, ...) whose target is never sorted in this function.
+	for _, rhs := range as.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			continue
+		}
+		if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+			continue
+		}
+		target := rootIdent(call.Args[0])
+		if target == "" || sorted[target] {
+			continue
+		}
+		*out = append(*out, Finding{
+			Rule:    "mapiter",
+			Pos:     p.position(call.Pos()),
+			Message: "append to " + quote(target) + " inside a map range orders it by map iteration and it is never sorted in this function; sort it afterwards or iterate sorted keys",
+		})
+	}
+}
+
+// sortedVars collects the root identifiers of every argument passed to a
+// sort.* or slices.* call anywhere in the function body — the variables
+// whose final order is established after the loop.
+func sortedVars(body *ast.BlockStmt) map[string]bool {
+	sorted := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || (pkg.Name != "sort" && pkg.Name != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if name := rootIdent(arg); name != "" {
+				sorted[name] = true
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+// rootIdent returns the leftmost identifier of an expression chain:
+// flows → flows, s.flows → s, byTag[k] → byTag, byX(v) → v (sort.Sort's
+// wrapper conversions and constructors forward their argument).
+func rootIdent(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return rootIdent(e.X)
+	case *ast.IndexExpr:
+		return rootIdent(e.X)
+	case *ast.CallExpr:
+		if len(e.Args) == 1 {
+			return rootIdent(e.Args[0])
+		}
+	}
+	return ""
+}
+
+// isOrderedOutputCall matches fmt.Print*/Fprint*/Sprint* calls and
+// Write*/Print* method calls — anything that renders values in call
+// order.
+func isOrderedOutputCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	name := sel.Sel.Name
+	if pkg, ok := sel.X.(*ast.Ident); ok && pkg.Name == "fmt" {
+		return strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint") ||
+			strings.HasPrefix(name, "Sprint")
+	}
+	return strings.HasPrefix(name, "Write") || strings.HasPrefix(name, "Print")
+}
+
+// isString reports whether t's underlying type is string.
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

@@ -1,0 +1,61 @@
+// Package fixture exercises the errcheck rule: no silently discarded
+// error returns in internal/... code.
+package fixture
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func mayFail() error { return nil }
+
+// dropsError discards the error as a bare statement.
+func dropsError() {
+	mayFail() // want errcheck
+}
+
+// deferDrop loses the error of a deferred cleanup — the classic
+// defer f.Close().
+func deferDrop(f *os.File) {
+	defer f.Close() // want errcheck
+}
+
+// goDrop fires and forgets a fallible call.
+func goDrop() {
+	go mayFail() // want errcheck
+}
+
+// fileWrite can genuinely fail: files are not infallible writers.
+func fileWrite(f *os.File) {
+	fmt.Fprintf(f, "header\n") // want errcheck
+}
+
+// --- consumed or infallible: the rule must not flag ----------------------
+
+// handled propagates the error.
+func handled() error { return mayFail() }
+
+// explicit states the discard greppably.
+func explicit() {
+	_ = mayFail()
+}
+
+// builderWrites cannot fail: strings.Builder documents a nil error.
+func builderWrites(b *strings.Builder) {
+	b.WriteString("ok")
+	fmt.Fprintf(b, "%d\n", 1)
+}
+
+// stdoutWrites go to the process's own streams.
+func stdoutWrites() {
+	fmt.Println("ok")
+	fmt.Fprintln(os.Stdout, "ok")
+	fmt.Fprintln(os.Stderr, "ok")
+}
+
+// bestEffort flushes as a shutdown hint; there is nothing the caller
+// could do differently on failure.
+func bestEffort(f *os.File) {
+	f.Sync() //geolint:ignore errcheck best-effort flush on shutdown; the caller has no recovery path
+}

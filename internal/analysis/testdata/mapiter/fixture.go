@@ -1,0 +1,92 @@
+// Package fixture exercises the mapiter rule: map iteration order must
+// not reach returned values, appended slices (unless sorted), formatted
+// output, or channel sends.
+package fixture
+
+import (
+	"fmt"
+	"sort"
+)
+
+// unsortedKeys returns the keys in map iteration order: two runs with the
+// same map differ.
+func unsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want mapiter
+	}
+	return keys
+}
+
+// printEach emits one line per entry in iteration order.
+func printEach(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want mapiter
+	}
+}
+
+// sendEach publishes values in iteration order.
+func sendEach(m map[string]int, ch chan<- string) {
+	for k := range m {
+		ch <- k // want mapiter
+	}
+}
+
+// concat bakes the iteration order into the returned string.
+func concat(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k // want mapiter
+	}
+	return s
+}
+
+// --- order-insensitive uses the rule must not flag -----------------------
+
+// sortedKeys is the approved collect-then-sort idiom.
+func sortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sumValues is commutative accumulation over the values.
+func sumValues(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// maxValue is a commutative fold.
+func maxValue(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// invert writes into another map; insertion order is invisible.
+func invert(m map[string]int) map[int]string {
+	out := map[int]string{}
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// collectForCaller appends for the caller to sort after merging several
+// maps — a cross-function flow the per-function analysis cannot see.
+func collectForCaller(m map[string]int, keys []string) []string {
+	for k := range m {
+		keys = append(keys, k) //geolint:ignore mapiter caller sorts the merged slice once after combining several maps
+	}
+	return keys
+}

@@ -1,0 +1,90 @@
+// Package fixture exercises the unitcheck rule: the unit types are
+// declared locally with //geolint:unit directives, mirroring
+// internal/units, so the facts phase exports them from this very package.
+package fixture
+
+// Seconds is a duration.
+//
+//geolint:unit
+type Seconds float64
+
+// BytesPerSec is a data rate.
+//
+//geolint:unit
+type BytesPerSec float64
+
+// Cost is the α–β objective.
+//
+//geolint:unit
+type Cost float64
+
+// Float returns the raw magnitude of s.
+func (s Seconds) Float() float64 { return float64(s) }
+
+// Float returns the raw magnitude of r.
+func (r BytesPerSec) Float() float64 { return float64(r) }
+
+// Scale returns s * x for a dimensionless factor x.
+func (s Seconds) Scale(x float64) Seconds { return Seconds(float64(s) * x) }
+
+// AsCost is this fixture's one blessed dimension crossing, mirroring the
+// named converters of internal/units.
+func (s Seconds) AsCost() Cost { return Cost(s) } //geolint:ignore unitcheck the fixture's own crossing helper, mirroring internal/units converters
+
+type opts struct {
+	Timeout Seconds
+	Rate    BytesPerSec
+}
+
+// addMixed adds seconds to bytes/second by laundering both through
+// Float(): type-correct, dimensionally corrupt.
+func addMixed(lat Seconds, bw BytesPerSec) float64 {
+	return lat.Float() + bw.Float() // want unitcheck
+}
+
+// compareMixed orders a duration against a rate through float64
+// conversions.
+func compareMixed(lat Seconds, bw BytesPerSec) bool {
+	return float64(lat) < float64(bw) // want unitcheck
+}
+
+// square's result is typed Seconds but means seconds².
+func square(lat Seconds) Seconds {
+	return lat * lat // want unitcheck
+}
+
+// crossConvert hops dimensions without a named converter.
+func crossConvert(lat Seconds) Cost {
+	return Cost(lat) // want unitcheck
+}
+
+// bareField adopts Seconds through implicit conversion instead of
+// stating the dimension with Seconds(5).
+func bareField() opts {
+	return opts{Timeout: 5} // want unitcheck
+}
+
+// barePad adds a naked literal to a typed duration.
+func barePad(s Seconds) Seconds {
+	return s + 1 // want unitcheck
+}
+
+// --- sound arithmetic the rule must not flag -----------------------------
+
+// defaultTimeout states its dimension with the constructor.
+const defaultTimeout = Seconds(30)
+
+// sum of two same-unit values uses the built-in operator.
+func sum(a, b Seconds) Seconds { return a + b }
+
+// ratio of two same-unit magnitudes is a sound dimensionless value.
+func ratio(a, b Seconds) float64 { return a.Float() / b.Float() }
+
+// zeroGuard compares against zero, which is zero in every unit.
+func zeroGuard(s Seconds) bool { return s <= 0 }
+
+// scaled multiplies by a dimensionless factor through the helper.
+func scaled(s Seconds) Seconds { return s.Scale(2.5) }
+
+// constructed wraps its literal in the constructor.
+func constructed() Seconds { return Seconds(8 << 20) }

@@ -26,6 +26,7 @@ import (
 	"geoprocmap/internal/core"
 	"geoprocmap/internal/mat"
 	"geoprocmap/internal/stats"
+	"geoprocmap/internal/units"
 )
 
 // Random is the paper's Baseline mapper.
@@ -188,7 +189,7 @@ func (m *MPIPP) Map(p *core.Problem) (core.Placement, error) {
 	cut := uniformCutProblem(p)
 	rng := stats.NewRand(m.Seed)
 	var best core.Placement
-	bestCost := math.Inf(1)
+	bestCost := units.Cost(math.Inf(1))
 	for r := 0; r < restarts; r++ {
 		pl, err := core.RandomPlacement(p, rng)
 		if err != nil {
@@ -239,7 +240,7 @@ func uniformCutProblem(p *core.Problem) *core.Problem {
 // bestSwapPass performs one sweep of first-improvement pairwise exchanges
 // over all unpinned process pairs in different sites. It updates pl and
 // cost in place and reports whether any exchange was applied.
-func (m *MPIPP) bestSwapPass(p *core.Problem, pl core.Placement, cost *float64) bool {
+func (m *MPIPP) bestSwapPass(p *core.Problem, pl core.Placement, cost *units.Cost) bool {
 	n := p.N()
 	improved := false
 	for a := 0; a < n; a++ {
@@ -254,7 +255,7 @@ func (m *MPIPP) bestSwapPass(p *core.Problem, pl core.Placement, cost *float64) 
 				continue
 			}
 			delta := swapDelta(p, pl, a, b)
-			if delta < -1e-12 {
+			if delta < units.Cost(-1e-12) {
 				pl[a], pl[b] = pl[b], pl[a]
 				*cost += delta
 				improved = true
@@ -267,9 +268,9 @@ func (m *MPIPP) bestSwapPass(p *core.Problem, pl core.Placement, cost *float64) 
 // swapDelta returns the cost change of exchanging the sites of processes a
 // and b. Only edges incident to a or b change cost, so the delta is
 // computed locally in O(deg(a)+deg(b)).
-func swapDelta(p *core.Problem, pl core.Placement, a, b int) float64 {
+func swapDelta(p *core.Problem, pl core.Placement, a, b int) units.Cost {
 	sa, sb := pl[a], pl[b]
-	var delta float64
+	var delta units.Cost
 	site := func(j int) int {
 		// Site of j after the hypothetical swap.
 		switch j {
@@ -284,8 +285,8 @@ func swapDelta(p *core.Problem, pl core.Placement, a, b int) float64 {
 	edge := func(i, j int, vol, msgs float64) {
 		oldSi, oldSj := pl[i], pl[j]
 		newSi, newSj := site(i), site(j)
-		delta -= msgs*p.LT.At(oldSi, oldSj) + vol/p.BT.At(oldSi, oldSj)
-		delta += msgs*p.LT.At(newSi, newSj) + vol/p.BT.At(newSi, newSj)
+		delta -= (p.Latency(oldSi, oldSj).Scale(msgs) + units.Bytes(vol).Over(p.Bandwidth(oldSi, oldSj))).AsCost()
+		delta += (p.Latency(newSi, newSj).Scale(msgs) + units.Bytes(vol).Over(p.Bandwidth(newSi, newSj))).AsCost()
 	}
 	for _, e := range p.Comm.Outgoing(a) {
 		edge(a, e.Peer, e.Volume, e.Msgs)
@@ -330,7 +331,7 @@ func (mc *MonteCarlo) Map(p *core.Problem) (core.Placement, error) {
 	}
 	rng := stats.NewRand(mc.Seed)
 	var best core.Placement
-	bestCost := math.Inf(1)
+	bestCost := units.Cost(math.Inf(1))
 	for i := 0; i < k; i++ {
 		pl, err := core.RandomPlacement(p, rng)
 		if err != nil {
@@ -359,7 +360,7 @@ func (mc *MonteCarlo) Sample(p *core.Problem, k int) ([]float64, error) {
 		if err != nil {
 			return nil, err
 		}
-		costs[i] = p.Cost(pl)
+		costs[i] = p.Cost(pl).Float()
 	}
 	return costs, nil
 }
@@ -383,7 +384,7 @@ func (mc *MonteCarlo) BestOfK(p *core.Problem, ks []int) ([]float64, error) {
 	}
 	rng := stats.NewRand(mc.Seed)
 	out := make([]float64, len(ks))
-	best := math.Inf(1)
+	best := units.Cost(math.Inf(1))
 	drawn := 0
 	for idx, k := range ks {
 		for drawn < k {
@@ -396,7 +397,7 @@ func (mc *MonteCarlo) BestOfK(p *core.Problem, ks []int) ([]float64, error) {
 			}
 			drawn++
 		}
-		out[idx] = best
+		out[idx] = best.Float()
 	}
 	return out, nil
 }

@@ -120,9 +120,9 @@ func TestGreedyBeatsRandomOnLocality(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		rc = append(rc, p.Cost(rp))
+		rc = append(rc, p.Cost(rp).Float())
 	}
-	if p.Cost(gp) > stats.Mean(rc)*0.7 {
+	if p.Cost(gp).Float() > stats.Mean(rc)*0.7 {
 		t.Errorf("greedy cost %v not clearly below random mean %v", p.Cost(gp), stats.Mean(rc))
 	}
 }
@@ -179,7 +179,7 @@ func TestMPIPPCutObjectiveIgnoresHeterogeneity(t *testing.T) {
 			}
 		}
 	}
-	if got := cut.Cost(pl); math.Abs(got-want) > want*1e-9+1e-9 {
+	if got := cut.Cost(pl); math.Abs(got.Float()-want) > want*1e-9+1e-9 {
 		t.Errorf("cut cost = %v, want cross volume %v", got, want)
 	}
 }
@@ -199,9 +199,9 @@ func TestSwapDeltaMatchesFullRecomputation(t *testing.T) {
 			want := func() float64 {
 				sw := pl.Clone()
 				sw[a], sw[b] = sw[b], sw[a]
-				return p.Cost(sw) - p.Cost(pl)
+				return (p.Cost(sw) - p.Cost(pl)).Float()
 			}()
-			if got := swapDelta(p, pl, a, b); math.Abs(got-want) > 1e-9 {
+			if got := swapDelta(p, pl, a, b); math.Abs(got.Float()-want) > 1e-9 {
 				t.Fatalf("swapDelta(%d,%d) = %v, full recomputation %v", a, b, got, want)
 			}
 		}

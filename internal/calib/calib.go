@@ -26,6 +26,7 @@ import (
 	"geoprocmap/internal/mat"
 	"geoprocmap/internal/netmodel"
 	"geoprocmap/internal/stats"
+	"geoprocmap/internal/units"
 )
 
 // Options configures a calibration run. Zero values select the defaults
@@ -36,10 +37,10 @@ type Options struct {
 	// SamplesPerDay per site pair (default 10).
 	SamplesPerDay int
 	// ProbeBytes is the bandwidth probe size (default 8 MB).
-	ProbeBytes int64
+	ProbeBytes units.Bytes
 	// PairProbeSeconds is the wall time one probe session occupies, used
 	// only for overhead accounting (default 60 s, the paper's figure).
-	PairProbeSeconds float64
+	PairProbeSeconds units.Seconds
 	// InterNoise is the relative std-dev of inter-site measurements
 	// (default 0.03, the paper reports <5% variation).
 	InterNoise float64
@@ -55,7 +56,7 @@ type Options struct {
 	Faults *faults.Schedule
 	// ProbeTimeout is how long one probe attempt may take before the
 	// calibrator abandons it and retries (default 5 s).
-	ProbeTimeout float64
+	ProbeTimeout units.Seconds
 	// MaxRetries bounds the retry attempts per sample after the first try
 	// (default 3). A sample that exhausts its retries is recorded as
 	// failed and the site pair is flagged Degraded.
@@ -74,7 +75,7 @@ func (o Options) withDefaults() (Options, error) {
 	case o.SamplesPerDay < 0:
 		return o, fmt.Errorf("calib: negative SamplesPerDay %d", o.SamplesPerDay)
 	case o.ProbeBytes < 0:
-		return o, fmt.Errorf("calib: negative ProbeBytes %d", o.ProbeBytes)
+		return o, fmt.Errorf("calib: negative ProbeBytes %v", o.ProbeBytes)
 	case o.PairProbeSeconds < 0:
 		return o, fmt.Errorf("calib: negative PairProbeSeconds %v", o.PairProbeSeconds)
 	case o.InterNoise < 0:
@@ -94,11 +95,11 @@ func (o Options) withDefaults() (Options, error) {
 	if o.SamplesPerDay == 0 {
 		o.SamplesPerDay = 10
 	}
-	if o.ProbeBytes == 0 {
-		o.ProbeBytes = 8 << 20
+	if o.ProbeBytes == 0 { //geolint:ignore floatcmp zero-value Options default sentinel; 0 is exactly representable
+		o.ProbeBytes = units.Bytes(8 << 20)
 	}
 	if o.PairProbeSeconds == 0 { //geolint:ignore floatcmp zero-value Options default sentinel; 0 is exactly representable
-		o.PairProbeSeconds = 60
+		o.PairProbeSeconds = units.Seconds(60)
 	}
 	if o.InterNoise == 0 { //geolint:ignore floatcmp zero-value Options default sentinel; 0 is exactly representable
 		o.InterNoise = 0.03
@@ -107,7 +108,7 @@ func (o Options) withDefaults() (Options, error) {
 		o.IntraNoise = 0.10
 	}
 	if o.ProbeTimeout == 0 { //geolint:ignore floatcmp zero-value Options default sentinel; 0 is exactly representable
-		o.ProbeTimeout = 5
+		o.ProbeTimeout = units.Seconds(5)
 	}
 	if o.MaxRetries == 0 {
 		o.MaxRetries = 3
@@ -136,7 +137,7 @@ type Result struct {
 	// OverheadSeconds is SitePairSessions × PairProbeSeconds plus
 	// RetrySeconds — the retry-aware accounting of what calibration
 	// actually cost under faults.
-	OverheadSeconds float64
+	OverheadSeconds units.Seconds
 	// Degraded(k, l) is 1 when at least one sample for the pair was
 	// abandoned after exhausting its retries, so the pair's estimates rest
 	// on fewer samples than requested (a fully unreachable pair falls back
@@ -148,7 +149,7 @@ type Result struct {
 	FailedSamples int
 	// RetrySeconds is the wall time spent on timed-out attempts and their
 	// backoff waits.
-	RetrySeconds float64
+	RetrySeconds units.Seconds
 }
 
 // DegradedPairs lists the site pairs flagged in Degraded, row-major.
@@ -185,8 +186,8 @@ func Calibrate(cloud *netmodel.Cloud, opt Options) (*Result, error) {
 	if o.Days < 1 || o.SamplesPerDay < 1 {
 		return nil, fmt.Errorf("calib: need at least one day and one sample per day")
 	}
-	if o.ProbeBytes < 2 {
-		return nil, fmt.Errorf("calib: probe of %d bytes cannot separate latency from bandwidth", o.ProbeBytes)
+	if o.ProbeBytes < units.Bytes(2) {
+		return nil, fmt.Errorf("calib: probe of %v bytes cannot separate latency from bandwidth", o.ProbeBytes)
 	}
 	m := cloud.M()
 	rng := stats.NewRand(o.Seed)
@@ -209,19 +210,19 @@ func Calibrate(cloud *netmodel.Cloud, opt Options) (*Result, error) {
 			if k == l {
 				noise = o.IntraNoise
 			}
-			trueLat := cloud.LT.At(k, l)
-			trueBW := cloud.BT.At(k, l)
+			trueLat := cloud.Latency(k, l)
+			trueBW := cloud.Bandwidth(k, l)
 			latSamples = latSamples[:0]
 			probes = probes[:0]
 			pairFailed := 0
 			for s := 0; s < samples; s++ {
-				lat1, latP, ok := probePair(k, l, float64(s)*o.PairProbeSeconds, trueLat, trueBW, noise, o, rng, res)
+				lat1, latP, ok := probePair(k, l, o.PairProbeSeconds.Scale(float64(s)), trueLat, trueBW, noise, o, rng, res)
 				if !ok {
 					pairFailed++
 					continue
 				}
-				latSamples = append(latSamples, lat1)
-				probes = append(probes, latP)
+				latSamples = append(latSamples, lat1.Float())
+				probes = append(probes, latP.Float())
 			}
 			res.FailedSamples += pairFailed
 			if pairFailed > 0 {
@@ -231,8 +232,8 @@ func Calibrate(cloud *netmodel.Cloud, opt Options) (*Result, error) {
 				// The pair never answered: the timeout is the only bound
 				// the calibrator observed. Downstream consumers must treat
 				// the pair as unreliable via the Degraded flag.
-				lt.Set(k, l, o.ProbeTimeout)
-				bt.Set(k, l, float64(o.ProbeBytes)/o.ProbeTimeout)
+				lt.Set(k, l, o.ProbeTimeout.Float())
+				bt.Set(k, l, o.ProbeBytes.Per(o.ProbeTimeout).Float())
 				continue
 			}
 			latEst := stats.TrimmedMean(latSamples, o.TrimFraction)
@@ -244,7 +245,7 @@ func Calibrate(cloud *netmodel.Cloud, opt Options) (*Result, error) {
 				transfer = probeMean
 			}
 			lt.Set(k, l, latEst)
-			bt.Set(k, l, float64(o.ProbeBytes)/transfer)
+			bt.Set(k, l, o.ProbeBytes.Float()/transfer)
 			if probeMean > 0 {
 				variation.Set(k, l, stats.StdDev(probes)/probeMean)
 			}
@@ -253,7 +254,7 @@ func Calibrate(cloud *netmodel.Cloud, opt Options) (*Result, error) {
 	sessions := m * (m - 1)
 	res.SamplesPerPair = samples
 	res.SitePairSessions = sessions
-	res.OverheadSeconds = float64(sessions)*o.PairProbeSeconds + res.RetrySeconds
+	res.OverheadSeconds = o.PairProbeSeconds.Scale(float64(sessions)) + res.RetrySeconds
 	return res, nil
 }
 
@@ -261,13 +262,13 @@ func Calibrate(cloud *netmodel.Cloud, opt Options) (*Result, error) {
 // retries — for site pair (k, l) at schedule time t0. It returns the
 // measured one-byte and probe elapsed times, or ok=false when the sample
 // exhausted its retries. Retry accounting accumulates into res.
-func probePair(k, l int, t0, trueLat, trueBW, noise float64, o Options, rng interface {
+func probePair(k, l int, t0 units.Seconds, trueLat units.Seconds, trueBW units.BytesPerSec, noise float64, o Options, rng interface {
 	NormFloat64() float64
 	Float64() float64
-}, res *Result) (lat1, latP float64, ok bool) {
+}, res *Result) (lat1, latP units.Seconds, ok bool) {
 	t := t0
 	for attempt := 0; ; attempt++ {
-		st := o.Faults.Link(k, l, t)
+		st := o.Faults.Link(k, l, t.Float())
 		failed := false
 		switch {
 		case st.Down:
@@ -276,10 +277,10 @@ func probePair(k, l int, t0, trueLat, trueBW, noise float64, o Options, rng inte
 		case st.LossProb > 0 && rng.Float64() < st.LossProb:
 			failed = true
 		default:
-			effLat := trueLat * st.LatFactor
-			effBW := trueBW * st.BWFactor
-			lat1 = elapsed(1, effLat, effBW, noise, rng)
-			latP = elapsed(float64(o.ProbeBytes), effLat, effBW, noise, rng)
+			effLat := trueLat.Scale(st.LatFactor)
+			effBW := trueBW.Scale(st.BWFactor)
+			lat1 = elapsed(units.Bytes(1), effLat, effBW, noise, rng)
+			latP = elapsed(o.ProbeBytes, effLat, effBW, noise, rng)
 			if latP > o.ProbeTimeout {
 				// Too degraded to finish in time — indistinguishable from
 				// a dead link at the probe's vantage point.
@@ -295,7 +296,7 @@ func probePair(k, l int, t0, trueLat, trueBW, noise float64, o Options, rng inte
 		wait := o.ProbeTimeout + faults.Backoff(attempt, faults.DefaultBackoffBase, faults.DefaultBackoffCap, nil)
 		// Jitter the retry spacing (±25%) so repeated probes do not
 		// synchronize with periodic fault windows.
-		wait *= 1 + 0.25*(2*rng.Float64()-1)
+		wait = wait.Scale(1 + 0.25*(2*rng.Float64()-1))
 		res.Retries++
 		res.RetrySeconds += wait
 		t += wait
@@ -304,13 +305,13 @@ func probePair(k, l int, t0, trueLat, trueBW, noise float64, o Options, rng inte
 
 // elapsed models one ping-pong sample: the α–β time with multiplicative
 // noise, truncated so a measurement never goes nonpositive.
-func elapsed(bytes, lat, bw, noise float64, rng interface{ NormFloat64() float64 }) float64 {
+func elapsed(bytes units.Bytes, lat units.Seconds, bw units.BytesPerSec, noise float64, rng interface{ NormFloat64() float64 }) units.Seconds {
 	t := netmodel.TransferTime(bytes, lat, bw)
 	factor := 1 + noise*rng.NormFloat64()
 	if factor < 0.1 {
 		factor = 0.1
 	}
-	return t * factor
+	return t.Scale(factor)
 }
 
 // RelativeErrors compares the calibration against the cloud's ground truth
@@ -332,9 +333,9 @@ func (r *Result) RelativeErrors(cloud *netmodel.Cloud) (latErr, bwErr float64) {
 // AllPairsOverheadSeconds is the traditional approach's cost: probing every
 // ordered node pair at pairProbeSeconds each (the paper's comparison:
 // 4 sites × 128 nodes at one minute per pair takes over 180 days).
-func AllPairsOverheadSeconds(totalNodes int, pairProbeSeconds float64) float64 {
+func AllPairsOverheadSeconds(totalNodes int, pairProbeSeconds units.Seconds) units.Seconds {
 	if totalNodes < 2 {
 		return 0
 	}
-	return float64(totalNodes) * float64(totalNodes-1) * pairProbeSeconds
+	return pairProbeSeconds.Scale(float64(totalNodes) * float64(totalNodes-1))
 }

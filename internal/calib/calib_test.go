@@ -161,7 +161,7 @@ func TestAllPairsOverheadFormula(t *testing.T) {
 	if got := AllPairsOverheadSeconds(2, 60); got != 120 {
 		t.Errorf("AllPairsOverheadSeconds(2, 60) = %v, want 120", got)
 	}
-	if math.Signbit(AllPairsOverheadSeconds(0, 60)) {
+	if math.Signbit(AllPairsOverheadSeconds(0, 60).Float()) {
 		// N=0 gives 0·(−1)·60 = 0; just ensure no negative nonsense leaks.
 		t.Error("negative overhead for zero nodes")
 	}
@@ -243,7 +243,7 @@ func TestCalibrateUnderBlackoutFlagsDegraded(t *testing.T) {
 		}
 	}
 	if res.Retries == 0 || res.FailedSamples == 0 || res.RetrySeconds <= 0 {
-		t.Errorf("no retry accounting: %d retries, %d failed, %.1f s", res.Retries, res.FailedSamples, res.RetrySeconds)
+		t.Errorf("no retry accounting: %d retries, %d failed, %.1f s", res.Retries, res.FailedSamples, res.RetrySeconds.Float())
 	}
 	if res.OverheadSeconds <= healthy.OverheadSeconds {
 		t.Error("faulty overhead not above healthy overhead")
@@ -329,7 +329,7 @@ func TestCalibrateFaultyDeterministic(t *testing.T) {
 		t.Error("same seed produced different faulty calibrations")
 	}
 	if a.Retries != b.Retries || a.FailedSamples != b.FailedSamples ||
-		math.Float64bits(a.RetrySeconds) != math.Float64bits(b.RetrySeconds) {
+		math.Float64bits(a.RetrySeconds.Float()) != math.Float64bits(b.RetrySeconds.Float()) {
 		t.Error("same seed produced different retry accounting")
 	}
 }

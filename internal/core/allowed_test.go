@@ -170,9 +170,9 @@ func TestGeoMapperSiteSetsStillOptimize(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		costs = append(costs, p.Cost(rp))
+		costs = append(costs, p.Cost(rp).Float())
 	}
-	if p.Cost(pl) > stats.Mean(costs) {
+	if p.Cost(pl).Float() > stats.Mean(costs) {
 		t.Errorf("geo cost %v not below random mean %v under site sets", p.Cost(pl), stats.Mean(costs))
 	}
 }

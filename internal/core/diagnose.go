@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"geoprocmap/internal/mat"
+	"geoprocmap/internal/units"
 )
 
 // PlacementStats summarizes where a placement puts traffic — the
@@ -18,12 +19,12 @@ type PlacementStats struct {
 	// site l under the placement (diagonal = intra-site volume).
 	SiteTraffic *mat.Matrix
 	// IntraVolume and CrossVolume split the total traffic.
-	IntraVolume float64
-	CrossVolume float64
+	IntraVolume units.Bytes
+	CrossVolume units.Bytes
 	// CrossMsgs counts messages crossing site boundaries.
 	CrossMsgs float64
 	// Cost is the placement's Formula 4 cost.
-	Cost float64
+	Cost units.Cost
 }
 
 // Diagnose computes placement statistics. The placement must be feasible.
@@ -46,9 +47,9 @@ func (p *Problem) Diagnose(pl Placement) (*PlacementStats, error) {
 			sj := pl[e.Peer]
 			st.SiteTraffic.Add(si, sj, e.Volume)
 			if si == sj {
-				st.IntraVolume += e.Volume
+				st.IntraVolume += units.Bytes(e.Volume)
 			} else {
-				st.CrossVolume += e.Volume
+				st.CrossVolume += units.Bytes(e.Volume)
 				st.CrossMsgs += e.Msgs
 			}
 		}
@@ -62,7 +63,7 @@ func (s *PlacementStats) CrossFraction() float64 {
 	if total == 0 { //geolint:ignore floatcmp exact-zero guard against division by zero on summed non-negative volumes
 		return 0
 	}
-	return s.CrossVolume / total
+	return s.CrossVolume.Float() / total.Float()
 }
 
 // TopWANFlows returns the k heaviest inter-site flows as (from, to,
@@ -107,7 +108,7 @@ func (s *PlacementStats) TopWANFlows(k int) [][3]float64 {
 func (s *PlacementStats) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "cost %.4f, cross-WAN volume %.1f%% (%.2f MB over %d messages)\n",
-		s.Cost, 100*s.CrossFraction(), s.CrossVolume/1e6, int(s.CrossMsgs))
+		s.Cost.Float(), 100*s.CrossFraction(), s.CrossVolume.Float()/1e6, int(s.CrossMsgs))
 	fmt.Fprintf(&b, "site loads: %v\n", s.Load)
 	for _, f := range s.TopWANFlows(3) {
 		fmt.Fprintf(&b, "  WAN flow site %d → site %d: %.2f MB\n", int(f[0]), int(f[1]), f[2]/1e6)

@@ -27,7 +27,7 @@ func TestDiagnoseBasics(t *testing.T) {
 	if got := st.SiteTraffic.At(0, 1); got != 1e3 {
 		t.Errorf("SiteTraffic(0,1) = %v", got)
 	}
-	if math.Abs(st.Cost-p.Cost(Placement{0, 0, 1, 1})) > 1e-12 {
+	if math.Abs((st.Cost - p.Cost(Placement{0, 0, 1, 1})).Float()) > 1e-12 {
 		t.Error("cost mismatch")
 	}
 	wantFrac := 1e3 / (2e6 + 1e3)

@@ -6,6 +6,7 @@ import (
 
 	"geoprocmap/internal/mat"
 	"geoprocmap/internal/stats"
+	"geoprocmap/internal/units"
 )
 
 // GeoMapper implements the paper's Geo-distributed process-mapping
@@ -90,7 +91,7 @@ func (g *GeoMapper) Map(p *Problem) (Placement, error) {
 
 	h := newHeuristicState(p)
 	var best Placement
-	bestCost := math.Inf(1)
+	bestCost := units.Cost(math.Inf(1))
 	orders := 0
 	tryOrder := func(perm []int) bool {
 		ordered := make([][]int, len(perm))
@@ -135,7 +136,7 @@ func (g *GeoMapper) Map(p *Problem) (Placement, error) {
 
 // refinePass applies one sweep of first-improvement pairwise exchanges of
 // unpinned, mutually-admissible processes, updating pl and cost in place.
-func refinePass(p *Problem, pl Placement, cost *float64) bool {
+func refinePass(p *Problem, pl Placement, cost *units.Cost) bool {
 	n := p.N()
 	improved := false
 	for a := 0; a < n; a++ {
@@ -150,7 +151,7 @@ func refinePass(p *Problem, pl Placement, cost *float64) bool {
 				continue
 			}
 			delta := exchangeDelta(p, pl, a, b)
-			if delta < -1e-12 {
+			if delta < units.Cost(-1e-12) {
 				pl[a], pl[b] = pl[b], pl[a]
 				*cost += delta
 				improved = true
@@ -162,7 +163,7 @@ func refinePass(p *Problem, pl Placement, cost *float64) bool {
 
 // exchangeDelta is the cost change of swapping the sites of processes a
 // and b, computed locally over their incident edges.
-func exchangeDelta(p *Problem, pl Placement, a, b int) float64 {
+func exchangeDelta(p *Problem, pl Placement, a, b int) units.Cost {
 	sa, sb := pl[a], pl[b]
 	site := func(j int) int {
 		switch j {
@@ -174,12 +175,12 @@ func exchangeDelta(p *Problem, pl Placement, a, b int) float64 {
 			return pl[j]
 		}
 	}
-	var delta float64
+	var delta units.Cost
 	edge := func(i, j int, vol, msgs float64) {
 		oldSi, oldSj := pl[i], pl[j]
 		newSi, newSj := site(i), site(j)
-		delta -= msgs*p.LT.At(oldSi, oldSj) + vol/p.BT.At(oldSi, oldSj)
-		delta += msgs*p.LT.At(newSi, newSj) + vol/p.BT.At(newSi, newSj)
+		delta -= (p.Latency(oldSi, oldSj).Scale(msgs) + units.Bytes(vol).Over(p.Bandwidth(oldSi, oldSj))).AsCost()
+		delta += (p.Latency(newSi, newSj).Scale(msgs) + units.Bytes(vol).Over(p.Bandwidth(newSi, newSj))).AsCost()
 	}
 	for _, e := range p.Comm.Outgoing(a) {
 		edge(a, e.Peer, e.Volume, e.Msgs)
@@ -204,12 +205,12 @@ func exchangeDelta(p *Problem, pl Placement, a, b int) float64 {
 // so the κ! order evaluations do not reallocate.
 type heuristicState struct {
 	p        *Problem
-	quantity []float64 // static per-process communication quantity
-	refLat   float64
-	refBW    float64
+	quantity []units.Cost // static per-process communication quantity
+	refLat   units.Seconds
+	refBW    units.BytesPerSec
 
 	selected []bool
-	affinity []float64
+	affinity []units.Cost
 	avail    mat.IntVec
 	members  [][]int // processes currently placed per site
 	pl       Placement
@@ -220,17 +221,17 @@ func newHeuristicState(p *Problem) *heuristicState {
 	refLat, refBW := p.referenceWeights()
 	h := &heuristicState{
 		p:        p,
-		quantity: make([]float64, n),
+		quantity: make([]units.Cost, n),
 		refLat:   refLat,
 		refBW:    refBW,
 		selected: make([]bool, n),
-		affinity: make([]float64, n),
+		affinity: make([]units.Cost, n),
 		avail:    make(mat.IntVec, p.M()),
 		members:  make([][]int, p.M()),
 		pl:       make(Placement, n),
 	}
 	for i := 0; i < n; i++ {
-		var q float64
+		var q units.Cost
 		p.Comm.Neighbors(i, func(_ int, vol, msgs float64) {
 			q += h.weight(vol, msgs)
 		})
@@ -242,8 +243,8 @@ func newHeuristicState(p *Problem) *heuristicState {
 // weight converts a (volume, msgs) pair into a scalar commensurate with
 // the α–β cost on an average inter-site link, so "heaviest communication
 // quantity" accounts for both the bandwidth and the latency term.
-func (h *heuristicState) weight(vol, msgs float64) float64 {
-	return msgs*h.refLat + vol/h.refBW
+func (h *heuristicState) weight(vol, msgs float64) units.Cost {
+	return (h.refLat.Scale(msgs) + units.Bytes(vol).Over(h.refBW)).AsCost()
 }
 
 // fill runs the greedy body of Algorithm 1 (lines 3–15) for one ordered
@@ -303,7 +304,7 @@ func (h *heuristicState) fill(orderedGroups [][]int) Placement {
 			// Line 9: seed with the globally heaviest unselected process
 			// admissible on this site.
 			seed := -1
-			bestQ := math.Inf(-1)
+			bestQ := units.Cost(math.Inf(-1))
 			for i := 0; i < n; i++ {
 				if !h.selected[i] && h.quantity[i] > bestQ && p.AllowedOn(i, site) {
 					seed, bestQ = i, h.quantity[i]
@@ -320,7 +321,7 @@ func (h *heuristicState) fill(orderedGroups [][]int) Placement {
 			h.rebuildAffinity(site)
 			for h.avail[site] > 0 && remaining > 0 {
 				next := -1
-				bestA := math.Inf(-1)
+				bestA := units.Cost(math.Inf(-1))
 				for i := 0; i < n; i++ {
 					if h.selected[i] || !p.AllowedOn(i, site) {
 						continue

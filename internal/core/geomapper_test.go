@@ -21,7 +21,7 @@ func bruteForce(p *Problem) float64 {
 	rec = func(i int) {
 		if i == n {
 			if p.CheckPlacement(pl) == nil {
-				if c := p.Cost(pl); c < best {
+				if c := p.Cost(pl).Float(); c < best {
 					best = c
 				}
 			}
@@ -51,7 +51,7 @@ func TestGeoMapperFindsObviousColocation(t *testing.T) {
 		t.Errorf("heavy pairs split: %v", pl)
 	}
 	opt := bruteForce(p)
-	if got := p.Cost(pl); math.Abs(got-opt) > 1e-9 {
+	if got := p.Cost(pl).Float(); math.Abs(got-opt) > 1e-9 {
 		t.Errorf("cost %v, brute-force optimum %v", got, opt)
 	}
 }
@@ -112,7 +112,7 @@ func TestGeoMapperBeatsRandomOnCliques(t *testing.T) {
 	if err := p.CheckPlacement(pl); err != nil {
 		t.Fatal(err)
 	}
-	geoCost := p.Cost(pl)
+	geoCost := p.Cost(pl).Float()
 	rng := stats.NewRand(99)
 	var randCosts []float64
 	for i := 0; i < 50; i++ {
@@ -120,7 +120,7 @@ func TestGeoMapperBeatsRandomOnCliques(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		randCosts = append(randCosts, p.Cost(rp))
+		randCosts = append(randCosts, p.Cost(rp).Float())
 	}
 	if mean := stats.Mean(randCosts); geoCost > mean*0.6 {
 		t.Errorf("geo cost %v not clearly below random mean %v", geoCost, mean)
@@ -269,9 +269,9 @@ func TestQuickGeoMapperFeasibleAndCompetitive(t *testing.T) {
 			if err != nil {
 				return false
 			}
-			costs = append(costs, p.Cost(rp))
+			costs = append(costs, p.Cost(rp).Float())
 		}
-		return p.Cost(pl) <= stats.Mean(costs)*1.02+1e-9
+		return p.Cost(pl).Float() <= stats.Mean(costs)*1.02+1e-9
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Error(err)
@@ -288,7 +288,7 @@ func TestQuickGeoMapperNearOptimal(t *testing.T) {
 			return false
 		}
 		opt := bruteForce(p)
-		return p.Cost(pl) <= opt*1.25+1e-9
+		return p.Cost(pl).Float() <= opt*1.25+1e-9
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
 		t.Error(err)
@@ -329,7 +329,7 @@ func TestExchangeDeltaMatchesRecomputation(t *testing.T) {
 			sw := pl.Clone()
 			sw[a], sw[b] = sw[b], sw[a]
 			want := p.Cost(sw) - p.Cost(pl)
-			if got := exchangeDelta(p, pl, a, b); math.Abs(got-want) > 1e-9 {
+			if got := exchangeDelta(p, pl, a, b); math.Abs((got - want).Float()) > 1e-9 {
 				t.Fatalf("exchangeDelta(%d,%d) = %v, want %v", a, b, got, want)
 			}
 		}

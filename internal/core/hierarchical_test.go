@@ -39,9 +39,9 @@ func TestHierarchicalManySites(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		rc = append(rc, p.Cost(rp))
+		rc = append(rc, p.Cost(rp).Float())
 	}
-	if p.Cost(pl) > stats.Mean(rc)*0.7 {
+	if p.Cost(pl).Float() > stats.Mean(rc)*0.7 {
 		t.Errorf("hierarchical cost %v not clearly below random mean %v", p.Cost(pl), stats.Mean(rc))
 	}
 	flatPl, err := (&GeoMapper{Kappa: 3, Seed: 2}).Map(p)

@@ -26,6 +26,7 @@ import (
 	"geoprocmap/internal/comm"
 	"geoprocmap/internal/geo"
 	"geoprocmap/internal/mat"
+	"geoprocmap/internal/units"
 )
 
 // Unconstrained marks a process free to be mapped anywhere. (The paper
@@ -164,24 +165,32 @@ func (p *Problem) CheckPlacement(pl Placement) error {
 	return nil
 }
 
+// Latency returns the one-way latency between sites k and l — the typed
+// view of the LT matrix entry.
+func (p *Problem) Latency(k, l int) units.Seconds { return units.Seconds(p.LT.At(k, l)) }
+
+// Bandwidth returns the bandwidth between sites k and l — the typed view
+// of the BT matrix entry.
+func (p *Problem) Bandwidth(k, l int) units.BytesPerSec { return units.BytesPerSec(p.BT.At(k, l)) }
+
 // Cost evaluates the paper's Formula 4: the total α–β communication cost of
 // a placement. The placement is not re-validated; call CheckPlacement first
 // when the placement comes from outside the library.
-func (p *Problem) Cost(pl Placement) float64 {
+func (p *Problem) Cost(pl Placement) units.Cost {
 	lat, bw := p.CostParts(pl)
 	return lat + bw
 }
 
 // CostParts splits the cost into its latency term (ΣAG·LT) and bandwidth
 // term (ΣCG/BT), which the ablation benchmarks compare.
-func (p *Problem) CostParts(pl Placement) (latency, bandwidth float64) {
+func (p *Problem) CostParts(pl Placement) (latency, bandwidth units.Cost) {
 	n := p.N()
 	for i := 0; i < n; i++ {
 		si := pl[i]
 		for _, e := range p.Comm.Outgoing(i) {
 			sj := pl[e.Peer]
-			latency += e.Msgs * p.LT.At(si, sj)
-			bandwidth += e.Volume / p.BT.At(si, sj)
+			latency += p.Latency(si, sj).Scale(e.Msgs).AsCost()
+			bandwidth += units.Bytes(e.Volume).Over(p.Bandwidth(si, sj)).AsCost()
 		}
 	}
 	return latency, bandwidth
@@ -191,7 +200,7 @@ func (p *Problem) CostParts(pl Placement) (latency, bandwidth float64) {
 // by the heuristic to turn (volume, msgs) pairs into a single scalar
 // "communication quantity" that is commensurate with the cost function.
 // For a single-site problem the intra-site values are used.
-func (p *Problem) referenceWeights() (refLat, refBW float64) {
+func (p *Problem) referenceWeights() (refLat units.Seconds, refBW units.BytesPerSec) {
 	m := p.M()
 	var latSum, bwSum float64
 	pairs := 0
@@ -206,7 +215,7 @@ func (p *Problem) referenceWeights() (refLat, refBW float64) {
 		}
 	}
 	if pairs == 0 {
-		return p.LT.At(0, 0), p.BT.At(0, 0)
+		return p.Latency(0, 0), p.Bandwidth(0, 0)
 	}
-	return latSum / float64(pairs), bwSum / float64(pairs)
+	return units.Seconds(latSum / float64(pairs)), units.BytesPerSec(bwSum / float64(pairs))
 }

@@ -103,7 +103,7 @@ func TestCostHandComputed(t *testing.T) {
 	wantIntra := 10*0.001 + 1e6/100e6 // per heavy pair
 	wantCross := 1*0.1 + 1e3/10e6
 	want := 2*wantIntra + wantCross
-	if got := p.Cost(colocated); math.Abs(got-want) > 1e-9 {
+	if got := p.Cost(colocated).Float(); math.Abs(got-want) > 1e-9 {
 		t.Errorf("Cost(colocated) = %v, want %v", got, want)
 	}
 	// Split pairs: heavy edges cross, light edge (0,2) intra.
@@ -111,7 +111,7 @@ func TestCostHandComputed(t *testing.T) {
 	wantHeavyCross := 10*0.1 + 1e6/10e6
 	wantLightIntra := 1*0.001 + 1e3/100e6
 	wantSplit := 2*wantHeavyCross + wantLightIntra
-	if got := p.Cost(split); math.Abs(got-wantSplit) > 1e-9 {
+	if got := p.Cost(split).Float(); math.Abs(got-wantSplit) > 1e-9 {
 		t.Errorf("Cost(split) = %v, want %v", got, wantSplit)
 	}
 	if p.Cost(colocated) >= p.Cost(split) {
@@ -126,7 +126,7 @@ func TestCostParts(t *testing.T) {
 	if lat <= 0 || bw <= 0 {
 		t.Errorf("CostParts = %v, %v; want both positive", lat, bw)
 	}
-	if math.Abs(lat+bw-p.Cost(pl)) > 1e-12 {
+	if math.Abs((lat + bw - p.Cost(pl)).Float()) > 1e-12 {
 		t.Error("CostParts does not sum to Cost")
 	}
 }

@@ -5,13 +5,14 @@ import (
 	"sort"
 
 	"geoprocmap/internal/faults"
+	"geoprocmap/internal/units"
 )
 
 // RemapOptions tunes failure-aware remapping.
 type RemapOptions struct {
 	// ImageBytes is the per-process migration payload — the checkpoint
 	// image restored at the destination site (default 64 MB).
-	ImageBytes float64
+	ImageBytes units.Bytes
 	// MoveDegraded also evacuates processes from degraded (but live) sites
 	// when the α–β cost saved over HorizonIterations amortizes the move's
 	// migration time. Dead-site evacuation is always performed.
@@ -23,7 +24,7 @@ type RemapOptions struct {
 
 func (o RemapOptions) withDefaults() RemapOptions {
 	if o.ImageBytes <= 0 {
-		o.ImageBytes = 64 << 20
+		o.ImageBytes = units.Bytes(64 << 20)
 	}
 	if o.HorizonIterations <= 0 {
 		o.HorizonIterations = 100
@@ -42,12 +43,12 @@ type RemapResult struct {
 	// each at the bandwidth between the old and new site (restores from a
 	// dead site read the checkpoint replica at the same region, so the
 	// stale BT row still prices the transfer).
-	MigrationSeconds float64
+	MigrationSeconds units.Seconds
 	// CostBefore and CostAfter are the problem's α–β costs of the stale
 	// and repaired placements. CostBefore prices dead-site traffic with
 	// the pre-fault matrices — an optimistic floor, since that traffic
 	// would in reality never complete.
-	CostBefore, CostAfter float64
+	CostBefore, CostAfter units.Cost
 }
 
 // Remap repairs a placement after faults: every process on a dead site is
@@ -126,7 +127,7 @@ func Remap(p *Problem, current Placement, rep *faults.Report, opt RemapOptions) 
 		if err != nil {
 			return nil, err
 		}
-		res.MigrationSeconds += o.ImageBytes / p.BT.At(res.Placement[i], j)
+		res.MigrationSeconds += o.ImageBytes.Over(p.Bandwidth(res.Placement[i], j))
 		res.Placement[i] = j
 		avail[j]--
 		res.Migrated = append(res.Migrated, i)
@@ -152,8 +153,11 @@ func Remap(p *Problem, current Placement, rep *faults.Report, opt RemapOptions) 
 				continue
 			}
 			saving := oldDelta - marginalCost(p, res.Placement, i, j)
-			migration := o.ImageBytes / p.BT.At(s, j)
-			if saving*o.HorizonIterations <= migration {
+			migration := o.ImageBytes.Over(p.Bandwidth(s, j))
+			// The per-iteration α–β saving is credited over the horizon and
+			// weighed against the one-off migration time — an explicit
+			// Cost→Seconds crossing, since both sides are durations here.
+			if saving.Scale(o.HorizonIterations).AsSeconds() <= migration {
 				continue
 			}
 			res.MigrationSeconds += migration
@@ -183,7 +187,7 @@ func bestLiveSite(p *Problem, pl Placement, i int, dead []bool, avail []int) (in
 		}
 		return c, nil
 	}
-	best, bestCost := -1, 0.0
+	best, bestCost := -1, units.Cost(0)
 	for j := 0; j < p.M(); j++ {
 		if dead[j] || (avail[j] <= 0 && pl[i] != j) || !allowedIgnoringDeadPin(p, i, j, dead) {
 			continue
@@ -220,21 +224,21 @@ func allowedIgnoringDeadPin(p *Problem, i, j int, dead []bool) bool {
 // marginalCost is the α–β cost process i contributes when placed at site j,
 // with every other process at its current site (dead-site peers included —
 // they are priced like any other until their own migration fixes them).
-func marginalCost(p *Problem, pl Placement, i, j int) float64 {
-	var cost float64
+func marginalCost(p *Problem, pl Placement, i, j int) units.Cost {
+	var cost units.Cost
 	for _, e := range p.Comm.Outgoing(i) {
 		if e.Peer == i {
 			continue
 		}
 		sj := pl[e.Peer]
-		cost += e.Msgs*p.LT.At(j, sj) + e.Volume/p.BT.At(j, sj)
+		cost += (p.Latency(j, sj).Scale(e.Msgs) + units.Bytes(e.Volume).Over(p.Bandwidth(j, sj))).AsCost()
 	}
 	for _, e := range p.Comm.Incoming(i) {
 		if e.Peer == i {
 			continue
 		}
 		si := pl[e.Peer]
-		cost += e.Msgs*p.LT.At(si, j) + e.Volume/p.BT.At(si, j)
+		cost += (p.Latency(si, j).Scale(e.Msgs) + units.Bytes(e.Volume).Over(p.Bandwidth(si, j))).AsCost()
 	}
 	return cost
 }

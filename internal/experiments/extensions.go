@@ -207,7 +207,7 @@ func ExtCollectives(cfg Config) (*Report, error) {
 		r.AddRow(v.name,
 			fmt.Sprintf("%.3f", tFlat),
 			fmt.Sprintf("%.3f", tHier),
-			fmt.Sprintf("%.1f×", tFlat/tHier))
+			fmt.Sprintf("%.1f×", tFlat.Float()/tHier.Float()))
 	}
 	r.AddNote("MagPIe's wide-area lesson (cited by the paper) reproduced on top of the mapping: hierarchy complements, not replaces, good placement.")
 	return r, nil
@@ -273,7 +273,7 @@ func ExtMultiConstraint(cfg Config) (*Report, error) {
 		r.AddRow(a.Name(),
 			fmt.Sprintf("%.3f", pinCost),
 			fmt.Sprintf("%.3f", setCost),
-			fmt.Sprintf("%.1f%%", ImprovementPct(pinCost, setCost)))
+			fmt.Sprintf("%.1f%%", ImprovementPct(pinCost.Float(), setCost.Float())))
 	}
 	r.AddNote("Allowed-site sets are never worse than pins (a pin is a singleton set); the benefit is the optimizer's remaining freedom.")
 	return r, nil

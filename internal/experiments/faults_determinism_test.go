@@ -81,7 +81,7 @@ func TestFaultSeedDeterminism(t *testing.T) {
 			remapped:  fmt.Sprintf("%v", remap.Placement),
 			staleBits: math.Float64bits(staleRes.CommSeconds),
 			fixedBits: math.Float64bits(fixedRes.CommSeconds),
-			migration: math.Float64bits(remap.MigrationSeconds),
+			migration: math.Float64bits(remap.MigrationSeconds.Float()),
 		}
 	}
 

@@ -341,8 +341,8 @@ func Figure9(cfg Config) (*Report, error) {
 			}
 			c := inst.Problem.Cost(pl)
 			r.AddRow(name, m.Name(),
-				fmt.Sprintf("%.3f", c/maxCost),
-				fmt.Sprintf("%.3f%%", 100*cdf.At(c)))
+				fmt.Sprintf("%.3f", c.Float()/maxCost),
+				fmt.Sprintf("%.3f%%", 100*cdf.At(c.Float())))
 		}
 	}
 	r.AddNote("Paper shape: Geo is near-optimal — below the 1%% percentile for LU and 0.1%% for K-means/DNN; Greedy ≈ random (50%%) on K-means/DNN.")
@@ -407,7 +407,7 @@ func Figure10(cfg Config) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		row = append(row, fmt.Sprintf("%.3f", inst.Problem.Cost(geoPl)/mean))
+		row = append(row, fmt.Sprintf("%.3f", inst.Problem.Cost(geoPl).Float()/mean))
 		r.Rows = append(r.Rows, row)
 	}
 	r.AddNote("Paper shape: best-of-K decreases ≈ log(K); Geo-distributed matches the Monte Carlo optimum that needs K ≈ 10^4 samples.")

@@ -44,7 +44,7 @@ func (inst *Instance) SimulateFaultyReplay(pl core.Placement, sched *faults.Sche
 	iters := float64(inst.Iters)
 	return SimResult{
 		ComputeSeconds: inst.App.ComputeTime(inst.N) * iters,
-		CommSeconds:    comm * iters,
+		CommSeconds:    comm.Scale(iters).Float(),
 	}, rep, nil
 }
 

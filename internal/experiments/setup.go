@@ -14,6 +14,7 @@ import (
 	"geoprocmap/internal/netsim"
 	"geoprocmap/internal/stats"
 	"geoprocmap/internal/trace"
+	"geoprocmap/internal/units"
 )
 
 // Config tunes an experiment run.
@@ -202,7 +203,7 @@ func (inst *Instance) SimulateWith(pl core.Placement, mode SimMode, opt netsim.O
 	if err != nil {
 		return SimResult{}, err
 	}
-	var comm float64
+	var comm units.Seconds
 	switch mode {
 	case SimReplay:
 		comm, err = sim.ReplayTrace(inst.IterTrace)
@@ -211,7 +212,7 @@ func (inst *Instance) SimulateWith(pl core.Placement, mode SimMode, opt netsim.O
 		}
 	case SimFluid, SimFluidPS:
 		for _, phase := range inst.IterPhases {
-			var t float64
+			var t units.Seconds
 			if mode == SimFluidPS {
 				t, err = sim.SimulatePhasePS(phase)
 			} else {
@@ -228,7 +229,7 @@ func (inst *Instance) SimulateWith(pl core.Placement, mode SimMode, opt netsim.O
 	iters := float64(inst.Iters)
 	return SimResult{
 		ComputeSeconds: inst.App.ComputeTime(inst.N) * iters,
-		CommSeconds:    comm * iters,
+		CommSeconds:    comm.Scale(iters).Float(),
 	}, nil
 }
 
@@ -262,7 +263,7 @@ func (inst *Instance) BaselineSim(repeats int, seed int64, mode SimMode) (SimRes
 // study evaluates (its Monte Carlo analysis computes communication time
 // from exactly this model).
 func (inst *Instance) CommCost(pl core.Placement) float64 {
-	return inst.Problem.Cost(pl) * float64(inst.Iters)
+	return inst.Problem.Cost(pl).Float() * float64(inst.Iters)
 }
 
 // BaselineCost averages CommCost over `repeats` random feasible

@@ -3,15 +3,17 @@ package faults
 import (
 	"math"
 	"math/rand"
+
+	"geoprocmap/internal/units"
 )
 
 // Backoff defaults shared by the simulator and the calibrator. All values
 // are simulated seconds — nothing in this repository actually sleeps.
 const (
 	// DefaultBackoffBase is the first retry delay.
-	DefaultBackoffBase = 0.25
+	DefaultBackoffBase = units.Seconds(0.25)
 	// DefaultBackoffCap bounds any single retry delay.
-	DefaultBackoffCap = 8.0
+	DefaultBackoffCap = units.Seconds(8.0)
 	// DefaultMaxAttempts bounds transmission attempts per message.
 	DefaultMaxAttempts = 8
 )
@@ -21,7 +23,7 @@ const (
 // when rng is non-nil. It is the shared helper the geolint sleepretry rule
 // requires retry loops to use, so no retry path can reintroduce an
 // unbounded or un-jittered busy-wait.
-func Backoff(attempt int, base, cap float64, rng *rand.Rand) float64 {
+func Backoff(attempt int, base, cap units.Seconds, rng *rand.Rand) units.Seconds {
 	if base <= 0 {
 		base = DefaultBackoffBase
 	}
@@ -31,12 +33,12 @@ func Backoff(attempt int, base, cap float64, rng *rand.Rand) float64 {
 	if attempt < 0 {
 		attempt = 0
 	}
-	d := base * math.Pow(2, float64(attempt))
+	d := base.Scale(math.Pow(2, float64(attempt)))
 	if d > cap {
 		d = cap
 	}
 	if rng != nil {
-		d *= 1 + 0.25*(2*rng.Float64()-1)
+		d = d.Scale(1 + 0.25*(2*rng.Float64()-1))
 	}
 	return d
 }
@@ -44,8 +46,8 @@ func Backoff(attempt int, base, cap float64, rng *rand.Rand) float64 {
 // BackoffTotal returns the cumulative delay of n capped exponential retry
 // waits without jitter — the deterministic accounting the simulator uses
 // for blocked time, so a shared Simulator needs no mutable RNG.
-func BackoffTotal(n int, base, cap float64) float64 {
-	var total float64
+func BackoffTotal(n int, base, cap units.Seconds) units.Seconds {
+	var total units.Seconds
 	for i := 0; i < n; i++ {
 		total += Backoff(i, base, cap, nil)
 	}
@@ -55,12 +57,12 @@ func BackoffTotal(n int, base, cap float64) float64 {
 // AttemptsForWait returns how many backoff-spaced retry probes a sender
 // issues while waiting `wait` seconds for a link to recover: the smallest n
 // with BackoffTotal(n) ≥ wait (at least 1 for any positive wait).
-func AttemptsForWait(wait, base, cap float64) int {
+func AttemptsForWait(wait, base, cap units.Seconds) int {
 	if wait <= 0 {
 		return 0
 	}
 	n := 0
-	var total float64
+	var total units.Seconds
 	for total < wait && n < 64 {
 		total += Backoff(n, base, cap, nil)
 		n++

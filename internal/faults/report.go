@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"geoprocmap/internal/units"
 )
 
 // Report is the structured fault accounting a fault-aware simulation or
@@ -24,7 +26,7 @@ type Report struct {
 	Dropped int
 	// BlockedSeconds is the total simulated time senders spent blocked on
 	// dead links or waiting out retransmission backoff.
-	BlockedSeconds float64
+	BlockedSeconds units.Seconds
 	// DeadSites lists sites that were in outage at any point of the run,
 	// ascending.
 	DeadSites []int
@@ -100,7 +102,7 @@ func (r *Report) String() string {
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "fault report (%s): %d messages, %d retries, %d dropped, %.2fs blocked",
-		r.Schedule, r.Messages, r.Retries, r.Dropped, r.BlockedSeconds)
+		r.Schedule, r.Messages, r.Retries, r.Dropped, r.BlockedSeconds.Float())
 	if len(r.DeadSites) > 0 {
 		fmt.Fprintf(&b, "; dead sites %v", r.DeadSites)
 	}

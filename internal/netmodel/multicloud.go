@@ -45,7 +45,7 @@ func MergeClouds(a, b *Cloud, seed int64) (*Cloud, error) {
 	crossNum := minF(a.Provider.CrossBWNumerator, b.Provider.CrossBWNumerator) * InterProviderFactor
 	crossMin := minF(a.Provider.CrossBWMinMBps, b.Provider.CrossBWMinMBps) * InterProviderFactor
 	crossMax := minF(a.Provider.CrossBWMaxMBps, b.Provider.CrossBWMaxMBps) * InterProviderFactor
-	latBase := maxF(a.Provider.LatBaseSec, b.Provider.LatBaseSec)
+	latBase := Seconds(maxF(a.Provider.LatBaseSec.Float(), b.Provider.LatBaseSec.Float()))
 	latPerKm := maxF(a.Provider.LatPerKmSec, b.Provider.LatPerKmSec)
 
 	rng := stats.NewRand(seed)
@@ -76,7 +76,7 @@ func MergeClouds(a, b *Cloud, seed int64) (*Cloud, error) {
 				if bw < crossMin {
 					bw = crossMin
 				}
-				lt.Set(k, l, (latBase+latPerKm*d)*wobble())
+				lt.Set(k, l, (latBase + Seconds(latPerKm*d)).Scale(wobble()).Float())
 				bt.Set(k, l, bw*MB*wobble())
 			}
 		}

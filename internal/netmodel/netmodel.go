@@ -29,6 +29,23 @@ import (
 	"geoprocmap/internal/geo"
 	"geoprocmap/internal/mat"
 	"geoprocmap/internal/stats"
+	"geoprocmap/internal/units"
+)
+
+// The quantity types of the α–β model, re-exported from internal/units so
+// every consumer of the network model can name them without a second
+// import. The canonical declarations (and their //geolint:unit markers)
+// live in package units, which sits below internal/faults in the import
+// graph.
+type (
+	// Seconds is a latency, timeout, or simulated duration.
+	Seconds = units.Seconds
+	// Bytes is a message, probe, or checkpoint volume.
+	Bytes = units.Bytes
+	// BytesPerSec is a link bandwidth or fair-share rate.
+	BytesPerSec = units.BytesPerSec
+	// Cost is the α–β objective of Formula 4.
+	Cost = units.Cost
 )
 
 // MB is the unit used for bandwidth figures in the paper's tables.
@@ -57,10 +74,12 @@ type Provider struct {
 	CrossBWMinMBps float64
 	CrossBWMaxMBps float64
 	// LatBaseSec + LatPerKmSec*d gives the one-way cross-region latency.
-	LatBaseSec  float64
+	// LatPerKmSec is a rate (seconds per kilometer), so it stays a raw
+	// float64; the products below convert at the Seconds boundary.
+	LatBaseSec  units.Seconds
 	LatPerKmSec float64
 	// IntraLatSec is the intra-region latency.
-	IntraLatSec float64
+	IntraLatSec units.Seconds
 	// Types lists the provider's calibrated instance types.
 	Types []InstanceType
 }
@@ -75,9 +94,9 @@ var AmazonEC2 = &Provider{
 	CrossBWNumerator: 1.0e5,
 	CrossBWMinMBps:   4.5,
 	CrossBWMaxMBps:   25,
-	LatBaseSec:       0.096,
+	LatBaseSec:       units.Seconds(0.096),
 	LatPerKmSec:      1.64e-5,
-	IntraLatSec:      0.0008,
+	IntraLatSec:      units.Seconds(0.0008),
 	Types: []InstanceType{
 		{Name: "m1.small", IntraBWMBps: 18.5, CrossBWScale: 0.82},
 		{Name: "m1.medium", IntraBWMBps: 79, CrossBWScale: 0.95},
@@ -97,9 +116,9 @@ var WindowsAzure = &Provider{
 	CrossBWNumerator: 1.65e4,
 	CrossBWMinMBps:   0.9,
 	CrossBWMaxMBps:   5,
-	LatBaseSec:       0.0,
+	LatBaseSec:       units.Seconds(0),
 	LatPerKmSec:      7.0e-6,
-	IntraLatSec:      0.00082,
+	IntraLatSec:      units.Seconds(0.00082),
 	Types: []InstanceType{
 		{Name: "Standard_D2", IntraBWMBps: 62, CrossBWScale: 1.0},
 	},
@@ -127,8 +146,8 @@ func (p *Provider) CrossBandwidthMBps(distKm float64) float64 {
 
 // CrossLatencySec returns the modeled cross-region latency for a pair of
 // sites d kilometers apart.
-func (p *Provider) CrossLatencySec(distKm float64) float64 {
-	return p.LatBaseSec + p.LatPerKmSec*distKm
+func (p *Provider) CrossLatencySec(distKm float64) units.Seconds {
+	return p.LatBaseSec + units.Seconds(p.LatPerKmSec*distKm)
 }
 
 // Site is a data center hosting a number of identical instances.
@@ -188,12 +207,12 @@ func NewCloud(p *Provider, instanceType string, sites []Site, opt Options) (*Clo
 	for k := 0; k < m; k++ {
 		for l := 0; l < m; l++ {
 			if k == l {
-				lt.Set(k, l, p.IntraLatSec*wobble())
+				lt.Set(k, l, p.IntraLatSec.Scale(wobble()).Float())
 				bt.Set(k, l, inst.IntraBWMBps*MB*wobble())
 				continue
 			}
 			d := geo.HaversineKm(sites[k].Region.Location, sites[l].Region.Location)
-			lt.Set(k, l, p.CrossLatencySec(d)*wobble())
+			lt.Set(k, l, p.CrossLatencySec(d).Scale(wobble()).Float())
 			bw := p.CrossBandwidthMBps(d) * inst.CrossBWScale
 			bt.Set(k, l, bw*MB*wobble())
 		}
@@ -272,19 +291,27 @@ func (c *Cloud) SiteOfNode(node int) int {
 }
 
 // TransferTime is the α–β model (Section 3.1): the time to move n bytes
-// over a link with latency alphaSec and bandwidth betaBytesPerSec.
-func TransferTime(n float64, alphaSec, betaBytesPerSec float64) float64 {
-	if betaBytesPerSec <= 0 {
+// over a link with latency alpha and bandwidth beta.
+func TransferTime(n units.Bytes, alpha units.Seconds, beta units.BytesPerSec) units.Seconds {
+	if beta <= 0 {
 		panic("netmodel: nonpositive bandwidth in TransferTime") //geolint:ignore libpanic bandwidths are validated positive at Cloud construction
 	}
-	return alphaSec + n/betaBytesPerSec
+	return alpha + n.Over(beta)
 }
+
+// Latency returns the one-way latency between sites k and l — the typed
+// view of the LT matrix entry.
+func (c *Cloud) Latency(k, l int) units.Seconds { return units.Seconds(c.LT.At(k, l)) }
+
+// Bandwidth returns the bandwidth between sites k and l — the typed view
+// of the BT matrix entry.
+func (c *Cloud) Bandwidth(k, l int) units.BytesPerSec { return units.BytesPerSec(c.BT.At(k, l)) }
 
 // PairCost evaluates the paper's Formula 3: the aggregate cost of the
 // traffic between two processes mapped to sites k and l, given their total
 // message count (AG entry) and volume in bytes (CG entry).
-func (c *Cloud) PairCost(msgs, volume float64, k, l int) float64 {
-	return msgs*c.LT.At(k, l) + volume/c.BT.At(k, l)
+func (c *Cloud) PairCost(msgs float64, volume units.Bytes, k, l int) units.Cost {
+	return (c.Latency(k, l).Scale(msgs) + volume.Over(c.Bandwidth(k, l))).AsCost()
 }
 
 // DeadLinkPenalty is the factor FaultView applies to a down link: latency

@@ -6,6 +6,7 @@ import (
 
 	"geoprocmap/internal/faults"
 	"geoprocmap/internal/trace"
+	"geoprocmap/internal/units"
 )
 
 // This file is the simulator's fault-aware mode: the same two engines as
@@ -34,7 +35,7 @@ import (
 // starting at absolute schedule time `start`. It returns the communication
 // span (duration from start until the last delivery or abandonment) and
 // the fault report for the run window.
-func (s *Simulator) ReplayTraceFaulty(events []trace.Event, start float64) (float64, *faults.Report, error) {
+func (s *Simulator) ReplayTraceFaulty(events []trace.Event, start float64) (units.Seconds, *faults.Report, error) {
 	sched := s.opt.Faults
 	rep := &faults.Report{}
 	if sched != nil {
@@ -80,14 +81,14 @@ func (s *Simulator) ReplayTraceFaulty(events []trace.Event, start float64) (floa
 		st := sched.Link(k, l, tS)
 		if st.Down {
 			r := sched.NextLinkRecovery(k, l, tS)
-			wait := r - tS
+			wait := units.Seconds(r - tS)
 			if math.IsInf(r, 1) || wait > deadline {
 				// The link will not come back in time: the sender probes
 				// for a full deadline, then abandons the message.
 				rep.Dropped++
 				rep.Retries += faults.AttemptsForWait(deadline, faults.DefaultBackoffBase, faults.DefaultBackoffCap)
 				rep.BlockedSeconds += deadline
-				end := tS + deadline
+				end := tS + deadline.Float()
 				clock[e.Src] = end
 				egressFree[e.Src] = end
 				if end > span {
@@ -101,7 +102,7 @@ func (s *Simulator) ReplayTraceFaulty(events []trace.Event, start float64) (floa
 			st = sched.Link(k, l, tS)
 		}
 		if k != l {
-			if bw := s.cloud.BT.At(k, l) * st.BWFactor; bw < rate {
+			if bw := s.cloud.Bandwidth(k, l).Scale(st.BWFactor); bw < rate {
 				rate = bw
 			}
 		}
@@ -111,13 +112,13 @@ func (s *Simulator) ReplayTraceFaulty(events []trace.Event, start float64) (floa
 		if st.LossProb > 0 && sched != nil {
 			attempts = faults.Attempts(sched.Seed, int64(i), st.LossProb, 0)
 		}
-		backoffWait := 0.0
+		backoffWait := units.Seconds(0)
 		if attempts > 1 {
 			rep.Retries += attempts - 1
 			backoffWait = faults.BackoffTotal(attempts-1, faults.DefaultBackoffBase, faults.DefaultBackoffCap)
 			rep.BlockedSeconds += backoffWait
 		}
-		end := tS + float64(e.Bytes)/rate*float64(attempts) + backoffWait
+		end := tS + units.Bytes(e.Bytes).Over(rate).Scale(float64(attempts)).Float() + backoffWait.Float()
 		egressFree[e.Src] = end
 		ingressFree[e.Dst] = end
 		if shared {
@@ -135,7 +136,7 @@ func (s *Simulator) ReplayTraceFaulty(events []trace.Event, start float64) (floa
 	if sched != nil {
 		rep.DeadSites, rep.DegradedPairs = sched.Summary(s.cloud.M(), start, span)
 	}
-	return span - start, rep, nil
+	return units.Seconds(span - start), rep, nil
 }
 
 // SimulatePhaseFaulty runs the fluid engine on one set of concurrent
@@ -144,7 +145,7 @@ func (s *Simulator) ReplayTraceFaulty(events []trace.Event, start float64) (floa
 // returns the phase makespan and the fault report. Messages whose link is
 // down past the deadline are dropped from the fluid solve but still hold
 // their sender for the full deadline, which floors the makespan.
-func (s *Simulator) SimulatePhaseFaulty(msgs []Message, start float64) (float64, *faults.Report, error) {
+func (s *Simulator) SimulatePhaseFaulty(msgs []Message, start float64) (units.Seconds, *faults.Report, error) {
 	sched := s.opt.Faults
 	rep := &faults.Report{}
 	if sched != nil {
@@ -161,10 +162,10 @@ func (s *Simulator) SimulatePhaseFaulty(msgs []Message, start float64) (float64,
 	for fi, f := range flows {
 		k, l := s.mapping[f.src], s.mapping[f.dst]
 		st := sched.Link(k, l, start)
-		delay := 0.0
+		delay := units.Seconds(0)
 		if st.Down {
 			r := sched.NextLinkRecovery(k, l, start)
-			wait := r - start
+			wait := units.Seconds(r - start)
 			if math.IsInf(r, 1) || wait > deadline {
 				rep.Dropped++
 				rep.Retries += faults.AttemptsForWait(deadline, faults.DefaultBackoffBase, faults.DefaultBackoffCap)
@@ -186,11 +187,11 @@ func (s *Simulator) SimulatePhaseFaulty(msgs []Message, start float64) (float64,
 				delay += bo
 				rep.BlockedSeconds += bo
 				// Retransmissions resend the whole message.
-				f.remaining *= float64(attempts)
+				f.remaining = f.remaining.Scale(float64(attempts))
 			}
 		}
 		f.wanFactor = st.BWFactor
-		f.latency = f.latency*st.LatFactor + delay
+		f.latency = f.latency.Scale(st.LatFactor) + delay
 		kept = append(kept, f)
 	}
 	if len(kept) > 0 {
@@ -203,7 +204,7 @@ func (s *Simulator) SimulatePhaseFaulty(msgs []Message, start float64) (float64,
 		}
 	}
 	if sched != nil {
-		rep.DeadSites, rep.DegradedPairs = sched.Summary(s.cloud.M(), start, start+makespan)
+		rep.DeadSites, rep.DegradedPairs = sched.Summary(s.cloud.M(), start, start+makespan.Float())
 	}
 	return makespan, rep, nil
 }
@@ -212,13 +213,13 @@ func (s *Simulator) SimulatePhaseFaulty(msgs []Message, start float64) (float64,
 // local work followed by the trace's communication sub-phases — starting
 // at absolute schedule time `start`, advancing the schedule clock through
 // the phases and merging their fault reports.
-func (s *Simulator) SimulateIterationFaulty(events []trace.Event, computeSeconds, start float64) (IterationResult, *faults.Report, error) {
+func (s *Simulator) SimulateIterationFaulty(events []trace.Event, computeSeconds units.Seconds, start float64) (IterationResult, *faults.Report, error) {
 	if computeSeconds < 0 {
 		return IterationResult{}, nil, fmt.Errorf("netsim: negative compute time")
 	}
 	res := IterationResult{ComputeSeconds: computeSeconds}
 	rep := &faults.Report{}
-	t := start + computeSeconds
+	t := start + computeSeconds.Float()
 	for _, phase := range PhasesFromEvents(events) {
 		dur, phaseRep, err := s.SimulatePhaseFaulty(phase, t)
 		if err != nil {
@@ -226,7 +227,7 @@ func (s *Simulator) SimulateIterationFaulty(events []trace.Event, computeSeconds
 		}
 		rep.Merge(phaseRep)
 		res.CommSeconds += dur
-		t += dur
+		t += dur.Float()
 	}
 	return res, rep, nil
 }

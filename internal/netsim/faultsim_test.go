@@ -7,6 +7,7 @@ import (
 
 	"geoprocmap/internal/faults"
 	"geoprocmap/internal/trace"
+	"geoprocmap/internal/units"
 )
 
 // faultySim builds a simulator over testCloud with the given schedule.
@@ -40,7 +41,7 @@ func TestFaultyNilScheduleMatchesPlain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if math.Float64bits(span) != math.Float64bits(wantSpan) {
+	if math.Float64bits(span.Float()) != math.Float64bits(wantSpan.Float()) {
 		t.Errorf("faulty replay with nil schedule = %v, plain = %v", span, wantSpan)
 	}
 	if !rep.Empty() {
@@ -50,7 +51,7 @@ func TestFaultyNilScheduleMatchesPlain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if math.Float64bits(phase) != math.Float64bits(wantPhase) {
+	if math.Float64bits(phase.Float()) != math.Float64bits(wantPhase.Float()) {
 		t.Errorf("faulty phase with nil schedule = %v, plain = %v", phase, wantPhase)
 	}
 	if !rep.Empty() {
@@ -68,10 +69,10 @@ func TestReplayBlocksUntilRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Blocked until t=2, then 1 s transmission + 0.1 s propagation.
-	if want := 2 + 1 + 0.1; !almost(span, want, 1e-9) {
+	if want := 2 + 1 + 0.1; !almost(span.Float(), want, 1e-9) {
 		t.Errorf("span = %v, want %v", span, want)
 	}
-	if rep.Retries == 0 || !almost(rep.BlockedSeconds, 2, 1e-9) || rep.Dropped != 0 {
+	if rep.Retries == 0 || !almost(rep.BlockedSeconds.Float(), 2, 1e-9) || rep.Dropped != 0 {
 		t.Errorf("report = %+v, want retries > 0, blocked 2 s, no drops", rep)
 	}
 }
@@ -85,10 +86,10 @@ func TestReplayDropsAfterDeadline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !almost(span, DefaultFaultDeadline, 1e-9) {
+	if !almost(span.Float(), DefaultFaultDeadline.Float(), 1e-9) {
 		t.Errorf("span = %v, want the %v s deadline", span, DefaultFaultDeadline)
 	}
-	if rep.Dropped != 1 || !almost(rep.BlockedSeconds, DefaultFaultDeadline, 1e-9) {
+	if rep.Dropped != 1 || !almost(rep.BlockedSeconds.Float(), DefaultFaultDeadline.Float(), 1e-9) {
 		t.Errorf("report = %+v, want 1 drop and deadline blocked time", rep)
 	}
 	if !reflect.DeepEqual(rep.DeadSites, []int{1}) {
@@ -107,14 +108,14 @@ func TestDegradationScalesRateAndLatency(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Half the 10 MB/s cross-site bandwidth and double the 0.1 s latency.
-	if want := 10e6/5e6 + 0.2; !almost(span, want, 1e-9) {
+	if want := 10e6/5e6 + 0.2; !almost(span.Float(), want, 1e-9) {
 		t.Errorf("replay span = %v, want %v", span, want)
 	}
 	phase, _, err := s.SimulatePhaseFaulty([]Message{{Src: 0, Dst: 2, Bytes: 10e6}}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if want := 10e6/5e6 + 0.2; !almost(phase, want, 1e-9) {
+	if want := 10e6/5e6 + 0.2; !almost(phase.Float(), want, 1e-9) {
 		t.Errorf("phase makespan = %v, want %v", phase, want)
 	}
 	if len(rep.DegradedPairs) == 0 {
@@ -125,7 +126,7 @@ func TestDegradationScalesRateAndLatency(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if want := 100e6/100e6 + 0.001; !almost(span, want, 1e-9) {
+	if want := 100e6/100e6 + 0.001; !almost(span.Float(), want, 1e-9) {
 		t.Errorf("intra-site span = %v, want healthy %v", span, want)
 	}
 }
@@ -166,11 +167,11 @@ func TestFaultyStartPositionsSchedule(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if want := 1 + 0.1; !almost(before, want, 1e-9) || !repB.Empty() {
+	if want := 1 + 0.1; !almost(before.Float(), want, 1e-9) || !repB.Empty() {
 		t.Errorf("start=0: span %v (want %v), report %+v", before, want, repB)
 	}
 	// Blocked from 5.5 until the window ends at 6, then the healthy cost.
-	if want := 0.5 + 1 + 0.1; !almost(during, want, 1e-9) || repD.Empty() {
+	if want := 0.5 + 1 + 0.1; !almost(during.Float(), want, 1e-9) || repD.Empty() {
 		t.Errorf("start=5.5: span %v (want %v), report %+v", during, want, repD)
 	}
 }
@@ -208,14 +209,14 @@ func TestPlainEntryPointsDelegateWhenFaulty(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if want := 10e6/5e6 + 0.1; !almost(span, want, 1e-9) {
+	if want := 10e6/5e6 + 0.1; !almost(span.Float(), want, 1e-9) {
 		t.Errorf("ReplayTrace under faults = %v, want %v", span, want)
 	}
 	mk, err := s.SimulatePhase([]Message{{Src: 0, Dst: 2, Bytes: 10e6}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if want := 10e6/5e6 + 0.1; !almost(mk, want, 1e-9) {
+	if want := 10e6/5e6 + 0.1; !almost(mk.Float(), want, 1e-9) {
 		t.Errorf("SimulatePhase under faults = %v, want %v", mk, want)
 	}
 }
@@ -226,7 +227,7 @@ func TestFaultySeedDeterminism(t *testing.T) {
 		{Src: 1, Dst: 3, Bytes: 4 << 20},
 		{Src: 2, Dst: 0, Bytes: 1 << 20},
 	}
-	run := func(seed int64) (float64, *faults.Report) {
+	run := func(seed int64) (units.Seconds, *faults.Report) {
 		c := testCloud()
 		s, err := NewWithOptions(c, []int{0, 0, 1, 1}, Options{Faults: faults.FlakyWAN(c.M(), seed)})
 		if err != nil {
@@ -240,7 +241,7 @@ func TestFaultySeedDeterminism(t *testing.T) {
 	}
 	spanA, repA := run(42)
 	spanB, repB := run(42)
-	if math.Float64bits(spanA) != math.Float64bits(spanB) {
+	if math.Float64bits(spanA.Float()) != math.Float64bits(spanB.Float()) {
 		t.Errorf("same seed gave spans %v and %v", spanA, spanB)
 	}
 	if !reflect.DeepEqual(repA, repB) {

@@ -36,13 +36,14 @@ import (
 	"geoprocmap/internal/faults"
 	"geoprocmap/internal/netmodel"
 	"geoprocmap/internal/trace"
+	"geoprocmap/internal/units"
 )
 
 // Message is one point-to-point transfer between processes.
 type Message struct {
 	Src   int // sending process
 	Dst   int // receiving process
-	Bytes float64
+	Bytes units.Bytes
 }
 
 // Options tunes the simulator's network model.
@@ -62,14 +63,14 @@ type Options struct {
 	Faults *faults.Schedule
 	// FaultDeadline is how long a sender blocks on a dead link before
 	// abandoning the message (default 10 simulated seconds).
-	FaultDeadline float64
+	FaultDeadline units.Seconds
 }
 
 // DefaultFaultDeadline is the Options.FaultDeadline default.
-const DefaultFaultDeadline = 10.0
+const DefaultFaultDeadline = units.Seconds(10.0)
 
 // deadline returns the configured fault deadline.
-func (o Options) deadline() float64 {
+func (o Options) deadline() units.Seconds {
 	if o.FaultDeadline > 0 {
 		return o.FaultDeadline
 	}
@@ -81,7 +82,7 @@ func (o Options) deadline() float64 {
 type Simulator struct {
 	cloud   *netmodel.Cloud
 	mapping []int // process → site
-	nic     []float64
+	nic     []units.BytesPerSec
 	opt     Options
 }
 
@@ -116,21 +117,21 @@ func NewWithOptions(cloud *netmodel.Cloud, mapping []int, opt Options) (*Simulat
 	}
 	// Each process runs on its own instance; its NIC rate is the
 	// intra-site pair bandwidth of its site.
-	nic := make([]float64, len(mapping))
+	nic := make([]units.BytesPerSec, len(mapping))
 	for i, s := range mapping {
-		nic[i] = cloud.BT.At(s, s)
+		nic[i] = cloud.Bandwidth(s, s)
 	}
 	return &Simulator{cloud: cloud, mapping: append([]int(nil), mapping...), nic: nic, opt: opt}, nil
 }
 
 // link returns the constrained WAN capacity and latency for a message,
 // with ok=false for intra-site traffic (bounded by NICs only).
-func (s *Simulator) link(src, dst int) (capacity, latency float64, cross bool) {
+func (s *Simulator) link(src, dst int) (capacity units.BytesPerSec, latency units.Seconds, cross bool) {
 	k, l := s.mapping[src], s.mapping[dst]
 	if k == l {
-		return 0, s.cloud.LT.At(k, k), false
+		return 0, s.cloud.Latency(k, k), false
 	}
-	return s.cloud.BT.At(k, l), s.cloud.LT.At(k, l), true
+	return s.cloud.Bandwidth(k, l), s.cloud.Latency(k, l), true
 }
 
 // SimulatePhase runs the event-driven engine on one set of concurrent
@@ -140,7 +141,7 @@ func (s *Simulator) link(src, dst int) (capacity, latency float64, cross bool) {
 // set, the phase is simulated under the schedule's state at time zero; use
 // SimulatePhaseFaulty to position the phase in time and receive the
 // structured fault report.
-func (s *Simulator) SimulatePhase(msgs []Message) (float64, error) {
+func (s *Simulator) SimulatePhase(msgs []Message) (units.Seconds, error) {
 	if s.opt.Faults != nil {
 		makespan, _, err := s.SimulatePhaseFaulty(msgs, 0)
 		return makespan, err
@@ -165,7 +166,7 @@ func (s *Simulator) SimulatePhase(msgs []Message) (float64, error) {
 // solveFluid registers the constraints of the flows (scaling each WAN
 // capacity by the flow's wanFactor) and runs the progressive-filling
 // event loop, returning the time of the last delivery.
-func (s *Simulator) solveFluid(flows []*flowState) (float64, error) {
+func (s *Simulator) solveFluid(flows []*flowState) (units.Seconds, error) {
 	// Constraint registry: WAN pipes (per ordered site pair) plus one
 	// egress and one ingress constraint per participating process.
 	reg := newConstraintSet()
@@ -175,9 +176,9 @@ func (s *Simulator) solveFluid(flows []*flowState) (float64, error) {
 			if s.opt.DedicatedWAN {
 				// Per-flow rate cap at the site-pair bandwidth, no
 				// cross-flow contention on the WAN.
-				f.constraints = append(f.constraints, reg.id(conKey{kind: conFlowCap, a: fi}, s.cloud.BT.At(k, l)*f.wanFactor))
+				f.constraints = append(f.constraints, reg.id(conKey{kind: conFlowCap, a: fi}, s.cloud.Bandwidth(k, l).Scale(f.wanFactor)))
 			} else {
-				f.constraints = append(f.constraints, reg.id(conKey{kind: conLink, a: k, b: l}, s.cloud.BT.At(k, l)*f.wanFactor))
+				f.constraints = append(f.constraints, reg.id(conKey{kind: conLink, a: k, b: l}, s.cloud.Bandwidth(k, l).Scale(f.wanFactor)))
 			}
 		}
 		f.constraints = append(f.constraints,
@@ -185,26 +186,26 @@ func (s *Simulator) solveFluid(flows []*flowState) (float64, error) {
 			reg.id(conKey{kind: conIngress, a: f.dst}, s.nic[f.dst]))
 	}
 
-	now := 0.0
-	makespan := 0.0
+	now := units.Seconds(0)
+	makespan := units.Seconds(0)
 	active := flows
 	for len(active) > 0 {
 		rates := reg.maxMinRates(active)
 		// Find the earliest completion under current rates.
-		dt := math.Inf(1)
+		dt := units.Seconds(math.Inf(1))
 		for i, f := range active {
 			if rates[i] <= 0 {
 				return 0, fmt.Errorf("netsim: flow %d→%d starved (zero rate)", f.src, f.dst)
 			}
-			if t := f.remaining / rates[i]; t < dt {
+			if t := f.remaining.Over(rates[i]); t < dt {
 				dt = t
 			}
 		}
 		now += dt
 		next := active[:0]
 		for i, f := range active {
-			f.remaining -= rates[i] * dt
-			if f.remaining <= 1e-9 {
+			f.remaining -= rates[i].Times(dt)
+			if f.remaining <= units.Bytes(1e-9) {
 				if d := now + f.latency; d > makespan {
 					makespan = d
 				}
@@ -222,7 +223,7 @@ func (s *Simulator) solveFluid(flows []*flowState) (float64, error) {
 // traffic is bounded per endpoint NIC, approximated as a site-local pool of
 // capacity BT(k,k) × nodes/2 (every node can send and receive at NIC rate
 // simultaneously, so a site sustains nodes/2 concurrent full-rate pairs).
-func (s *Simulator) SimulatePhasePS(msgs []Message) (float64, error) {
+func (s *Simulator) SimulatePhasePS(msgs []Message) (units.Seconds, error) {
 	flows, maxLatency, err := s.buildFlows(msgs)
 	if err != nil {
 		return 0, err
@@ -231,8 +232,8 @@ func (s *Simulator) SimulatePhasePS(msgs []Message) (float64, error) {
 		return maxLatency, nil
 	}
 	type pool struct {
-		capacity float64
-		latency  float64
+		capacity units.BytesPerSec
+		latency  units.Seconds
 		sizes    []float64
 	}
 	pools := map[conKey]*pool{}
@@ -245,24 +246,24 @@ func (s *Simulator) SimulatePhasePS(msgs []Message) (float64, error) {
 		}
 		p := pools[key]
 		if p == nil {
-			capacity := s.cloud.BT.At(k, l)
+			capacity := s.cloud.Bandwidth(k, l)
 			if k == l {
-				capacity *= math.Max(1, float64(s.cloud.Sites[k].Nodes)/2)
+				capacity = capacity.Scale(math.Max(1, float64(s.cloud.Sites[k].Nodes)/2))
 			}
-			p = &pool{capacity: capacity, latency: s.cloud.LT.At(k, l)}
+			p = &pool{capacity: capacity, latency: s.cloud.Latency(k, l)}
 			pools[key] = p
 		}
-		p.sizes = append(p.sizes, f.remaining)
+		p.sizes = append(p.sizes, f.remaining.Float())
 	}
 	makespan := maxLatency
 	for _, p := range pools {
 		sort.Float64s(p.sizes)
 		// Processor sharing with equal shares: completion time of the
 		// largest flow is Σ marginal drain times.
-		t, prev := 0.0, 0.0
+		t, prev := units.Seconds(0), 0.0
 		activeCount := float64(len(p.sizes))
 		for _, b := range p.sizes {
-			t += (b - prev) * activeCount / p.capacity
+			t += units.Bytes(b - prev).Scale(activeCount).Over(p.capacity)
 			prev = b
 			activeCount--
 		}
@@ -275,8 +276,8 @@ func (s *Simulator) SimulatePhasePS(msgs []Message) (float64, error) {
 
 type flowState struct {
 	src, dst    int
-	remaining   float64
-	latency     float64
+	remaining   units.Bytes
+	latency     units.Seconds
 	constraints []int
 	// wanFactor scales the flow's WAN capacity (bandwidth-degradation
 	// faults); 1 on a healthy network.
@@ -286,9 +287,9 @@ type flowState struct {
 // buildFlows validates messages and returns the nonzero flows plus the
 // maximum latency among zero-byte messages (delivered after one
 // propagation delay without consuming bandwidth).
-func (s *Simulator) buildFlows(msgs []Message) ([]*flowState, float64, error) {
+func (s *Simulator) buildFlows(msgs []Message) ([]*flowState, units.Seconds, error) {
 	flows := make([]*flowState, 0, len(msgs))
-	maxLatency := 0.0
+	maxLatency := units.Seconds(0)
 	for i, m := range msgs {
 		if m.Src < 0 || m.Src >= len(s.mapping) || m.Dst < 0 || m.Dst >= len(s.mapping) {
 			return nil, 0, fmt.Errorf("netsim: message %d endpoint out of range: %d→%d", i, m.Src, m.Dst)
@@ -329,14 +330,14 @@ type conKey struct {
 
 type constraintSet struct {
 	ids        map[conKey]int
-	capacities []float64
+	capacities []units.BytesPerSec
 }
 
 func newConstraintSet() *constraintSet {
 	return &constraintSet{ids: map[conKey]int{}}
 }
 
-func (cs *constraintSet) id(key conKey, capacity float64) int {
+func (cs *constraintSet) id(key conKey, capacity units.BytesPerSec) int {
 	if id, ok := cs.ids[key]; ok {
 		return id
 	}
@@ -349,9 +350,9 @@ func (cs *constraintSet) id(key conKey, capacity float64) int {
 // maxMinRates computes the max-min fair allocation for the active flows by
 // progressive filling: repeatedly saturate the tightest constraint, freeze
 // its flows at the fair share, and subtract.
-func (cs *constraintSet) maxMinRates(flows []*flowState) []float64 {
-	rates := make([]float64, len(flows))
-	residual := append([]float64(nil), cs.capacities...)
+func (cs *constraintSet) maxMinRates(flows []*flowState) []units.BytesPerSec {
+	rates := make([]units.BytesPerSec, len(flows))
+	residual := append([]units.BytesPerSec(nil), cs.capacities...)
 	counts := make([]int, len(cs.capacities))
 	for _, f := range flows {
 		for _, c := range f.constraints {
@@ -363,12 +364,12 @@ func (cs *constraintSet) maxMinRates(flows []*flowState) []float64 {
 	for remaining > 0 {
 		// Tightest constraint: min residual/count over constraints with
 		// unfrozen flows.
-		bestC, bestShare := -1, math.Inf(1)
+		bestC, bestShare := -1, units.BytesPerSec(math.Inf(1))
 		for c := range residual {
 			if counts[c] == 0 {
 				continue
 			}
-			if share := residual[c] / float64(counts[c]); share < bestShare {
+			if share := residual[c].Div(float64(counts[c])); share < bestShare {
 				bestC, bestShare = c, share
 			}
 		}
@@ -405,12 +406,12 @@ func (cs *constraintSet) maxMinRates(flows []*flowState) []float64 {
 
 // IterationResult is the simulated timing of one application iteration.
 type IterationResult struct {
-	ComputeSeconds float64
-	CommSeconds    float64
+	ComputeSeconds units.Seconds
+	CommSeconds    units.Seconds
 }
 
 // Total returns the iteration wall time.
-func (r IterationResult) Total() float64 { return r.ComputeSeconds + r.CommSeconds }
+func (r IterationResult) Total() units.Seconds { return r.ComputeSeconds + r.CommSeconds }
 
 // PhasesFromEvents splits a recorded event stream into sequential
 // communication sub-phases by tag (in ascending tag order): the messages of
@@ -424,7 +425,7 @@ func PhasesFromEvents(events []trace.Event) [][]Message {
 		if _, ok := byTag[e.Tag]; !ok {
 			tags = append(tags, e.Tag)
 		}
-		byTag[e.Tag] = append(byTag[e.Tag], Message{Src: e.Src, Dst: e.Dst, Bytes: float64(e.Bytes)})
+		byTag[e.Tag] = append(byTag[e.Tag], Message{Src: e.Src, Dst: e.Dst, Bytes: units.Bytes(e.Bytes)})
 	}
 	sort.Ints(tags)
 	var out [][]Message
@@ -438,13 +439,13 @@ func PhasesFromEvents(events []trace.Event) [][]Message {
 // followed by the communication sub-phases of the event stream. If ps is
 // true the analytic processor-sharing engine is used instead of the exact
 // event-driven one.
-func (s *Simulator) SimulateIteration(events []trace.Event, computeSeconds float64, ps bool) (IterationResult, error) {
+func (s *Simulator) SimulateIteration(events []trace.Event, computeSeconds units.Seconds, ps bool) (IterationResult, error) {
 	if computeSeconds < 0 {
 		return IterationResult{}, fmt.Errorf("netsim: negative compute time")
 	}
 	res := IterationResult{ComputeSeconds: computeSeconds}
 	for _, phase := range PhasesFromEvents(events) {
-		var t float64
+		var t units.Seconds
 		var err error
 		if ps {
 			t, err = s.SimulatePhasePS(phase)

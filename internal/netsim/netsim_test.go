@@ -9,6 +9,7 @@ import (
 	"geoprocmap/internal/mat"
 	"geoprocmap/internal/netmodel"
 	"geoprocmap/internal/trace"
+	"geoprocmap/internal/units"
 )
 
 // testCloud builds a deterministic 2-site × 2-node cloud: intra-site
@@ -68,7 +69,7 @@ func TestSingleCrossMessage(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := 10e6/10e6 + 0.1 // transmission + propagation
-	if !almost(got, want, 1e-9) {
+	if !almost(got.Float(), want, 1e-9) {
 		t.Errorf("makespan = %v, want %v", got, want)
 	}
 }
@@ -80,7 +81,7 @@ func TestSingleIntraMessage(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := 100e6/100e6 + 0.001 // NIC-bound + intra latency
-	if !almost(got, want, 1e-9) {
+	if !almost(got.Float(), want, 1e-9) {
 		t.Errorf("makespan = %v, want %v", got, want)
 	}
 }
@@ -97,7 +98,7 @@ func TestCrossPipeSharing(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := 10e6/5e6 + 0.1
-	if !almost(got, want, 1e-9) {
+	if !almost(got.Float(), want, 1e-9) {
 		t.Errorf("makespan = %v, want %v", got, want)
 	}
 }
@@ -114,7 +115,7 @@ func TestCrossPipeUnequalFlows(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := 2.0 + 0.1
-	if !almost(got, want, 1e-9) {
+	if !almost(got.Float(), want, 1e-9) {
 		t.Errorf("makespan = %v, want %v", got, want)
 	}
 }
@@ -133,7 +134,7 @@ func TestEgressNICConstraint(t *testing.T) {
 	}
 	// Cross: 20e6/10e6 = 2 s (+0.1 latency). Intra: 90e6/90e6 = 1 s, done
 	// first (+1 ms). Makespan = 2.1.
-	if !almost(got, 2.1, 1e-6) {
+	if !almost(got.Float(), 2.1, 1e-6) {
 		t.Errorf("makespan = %v, want 2.1", got)
 	}
 }
@@ -149,7 +150,7 @@ func TestIndependentIntraPairs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !almost(got, 1.001, 1e-9) {
+	if !almost(got.Float(), 1.001, 1e-9) {
 		t.Errorf("makespan = %v, want 1.001", got)
 	}
 }
@@ -160,14 +161,14 @@ func TestZeroByteMessageLatencyOnly(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !almost(got, 0.1, 1e-12) {
+	if !almost(got.Float(), 0.1, 1e-12) {
 		t.Errorf("makespan = %v, want 0.1", got)
 	}
 }
 
 func TestEmptyPhase(t *testing.T) {
 	s := testSim(t)
-	for _, engine := range []func([]Message) (float64, error){s.SimulatePhase, s.SimulatePhasePS} {
+	for _, engine := range []func([]Message) (units.Seconds, error){s.SimulatePhase, s.SimulatePhasePS} {
 		got, err := engine(nil)
 		if err != nil || got != 0 {
 			t.Errorf("empty phase = %v, %v; want 0, nil", got, err)
@@ -210,7 +211,7 @@ func TestPSMatchesExactForCrossTraffic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !almost(exact, ps, 1e-6) {
+	if !almost(exact.Float(), ps.Float(), 1e-6) {
 		t.Errorf("exact %v vs PS %v", exact, ps)
 	}
 }
@@ -246,13 +247,13 @@ func TestSimulateIteration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !almost(res.ComputeSeconds, 0.5, 0) {
+	if !almost(res.ComputeSeconds.Float(), 0.5, 0) {
 		t.Errorf("compute = %v", res.ComputeSeconds)
 	}
-	if !almost(res.CommSeconds, 2.2, 1e-9) {
+	if !almost(res.CommSeconds.Float(), 2.2, 1e-9) {
 		t.Errorf("comm = %v, want 2.2 (sequential phases)", res.CommSeconds)
 	}
-	if !almost(res.Total(), 2.7, 1e-9) {
+	if !almost(res.Total().Float(), 2.7, 1e-9) {
 		t.Errorf("total = %v", res.Total())
 	}
 	if _, err := s.SimulateIteration(events, -1, false); err == nil {
@@ -315,14 +316,14 @@ func TestQuickMakespanMonotone(t *testing.T) {
 			raw = raw[:12]
 		}
 		var msgs []Message
-		prev := -1.0
+		prev := units.Seconds(-1)
 		for _, r := range raw {
 			src := int(r % 4)
 			dst := int((r / 4) % 4)
 			if src == dst {
 				dst = (dst + 1) % 4
 			}
-			msgs = append(msgs, Message{Src: src, Dst: dst, Bytes: float64(r%100) * 1e5})
+			msgs = append(msgs, Message{Src: src, Dst: dst, Bytes: units.Bytes(r%100) * 1e5})
 			got, err := s.SimulatePhase(msgs)
 			if err != nil {
 				return false
@@ -354,20 +355,20 @@ func TestQuickLowerBound(t *testing.T) {
 			raw = raw[:10]
 		}
 		var msgs []Message
-		lower := 0.0
+		lower := units.Seconds(0)
 		for _, r := range raw {
 			src := int(r % 4)
 			dst := int((r / 4) % 4)
 			if src == dst {
 				dst = (dst + 1) % 4
 			}
-			bytes := float64(r%50+1) * 1e5
+			bytes := units.Bytes(r%50+1) * 1e5
 			msgs = append(msgs, Message{Src: src, Dst: dst, Bytes: bytes})
 			capacity, lat, cross := s.link(src, dst)
 			if !cross {
 				capacity = s.nic[src]
 			}
-			if lb := bytes/capacity + lat; lb > lower {
+			if lb := bytes.Over(capacity) + lat; lb > lower {
 				lower = lb
 			}
 		}
@@ -397,14 +398,14 @@ func TestDedicatedWANNoContention(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !almost(got, 1.1, 1e-9) {
+	if !almost(got.Float(), 1.1, 1e-9) {
 		t.Errorf("dedicated makespan = %v, want 1.1 (no pipe sharing)", got)
 	}
 	ps, err := s.SimulatePhasePS(msgs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !almost(ps, 1.1, 1e-9) {
+	if !almost(ps.Float(), 1.1, 1e-9) {
 		t.Errorf("dedicated PS makespan = %v, want 1.1", ps)
 	}
 }
@@ -424,7 +425,7 @@ func TestDedicatedWANStillNICBound(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !almost(got, 1.1, 1e-9) {
+	if !almost(got.Float(), 1.1, 1e-9) {
 		t.Errorf("makespan = %v, want 1.1", got)
 	}
 }

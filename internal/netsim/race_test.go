@@ -56,7 +56,7 @@ func TestConcurrentReplayMatchesFreshRun(t *testing.T) {
 					errs <- err
 					return
 				}
-				if math.Float64bits(got) != math.Float64bits(refReplay) {
+				if math.Float64bits(got.Float()) != math.Float64bits(refReplay.Float()) {
 					errs <- fmt.Errorf("concurrent replay span %v differs from fresh-run %v", got, refReplay)
 					return
 				}
@@ -65,7 +65,7 @@ func TestConcurrentReplayMatchesFreshRun(t *testing.T) {
 					errs <- err
 					return
 				}
-				if math.Float64bits(got) != math.Float64bits(refPhase) {
+				if math.Float64bits(got.Float()) != math.Float64bits(refPhase.Float()) {
 					errs <- fmt.Errorf("concurrent phase makespan %v differs from fresh-run %v", got, refPhase)
 					return
 				}
@@ -139,7 +139,7 @@ func TestConcurrentFaultyMatchesFreshRun(t *testing.T) {
 					errs <- err
 					return
 				}
-				if math.Float64bits(span) != math.Float64bits(refSpan) || !reflect.DeepEqual(rep, refSpanRep) {
+				if math.Float64bits(span.Float()) != math.Float64bits(refSpan.Float()) || !reflect.DeepEqual(rep, refSpanRep) {
 					errs <- fmt.Errorf("concurrent faulty replay (%v, %+v) differs from fresh-run (%v, %+v)", span, rep, refSpan, refSpanRep)
 					return
 				}
@@ -148,7 +148,7 @@ func TestConcurrentFaultyMatchesFreshRun(t *testing.T) {
 					errs <- err
 					return
 				}
-				if math.Float64bits(mk) != math.Float64bits(refPhase) || !reflect.DeepEqual(rep, refPhaseRep) {
+				if math.Float64bits(mk.Float()) != math.Float64bits(refPhase.Float()) || !reflect.DeepEqual(rep, refPhaseRep) {
 					errs <- fmt.Errorf("concurrent faulty phase (%v, %+v) differs from fresh-run (%v, %+v)", mk, rep, refPhase, refPhaseRep)
 					return
 				}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"geoprocmap/internal/trace"
+	"geoprocmap/internal/units"
 )
 
 // ReplayTrace simulates a recorded event stream with logical clocks — the
@@ -31,7 +32,7 @@ import (
 // last send completion). Zero events take zero time. With Options.Faults
 // set the replay runs fault-aware from time zero; use ReplayTraceFaulty to
 // position the replay in schedule time and receive the structured report.
-func (s *Simulator) ReplayTrace(events []trace.Event) (float64, error) {
+func (s *Simulator) ReplayTrace(events []trace.Event) (units.Seconds, error) {
 	if s.opt.Faults != nil {
 		span, _, err := s.ReplayTraceFaulty(events, 0)
 		return span, err
@@ -62,7 +63,7 @@ func (s *Simulator) ReplayTrace(events []trace.Event) (float64, error) {
 		var wanKey [2]int
 		shared := k != l && !s.opt.DedicatedWAN
 		if k != l {
-			if bw := s.cloud.BT.At(k, l); bw < rate {
+			if bw := s.cloud.Bandwidth(k, l); bw < rate {
 				rate = bw
 			}
 		}
@@ -70,7 +71,7 @@ func (s *Simulator) ReplayTrace(events []trace.Event) (float64, error) {
 			wanKey = [2]int{k, l}
 			start = math.Max(start, wanFree[wanKey])
 		}
-		end := start + float64(e.Bytes)/rate
+		end := start + units.Bytes(e.Bytes).Over(rate).Float()
 		egressFree[e.Src] = end
 		ingressFree[e.Dst] = end
 		if shared {
@@ -85,5 +86,5 @@ func (s *Simulator) ReplayTrace(events []trace.Event) (float64, error) {
 			span = arrival
 		}
 	}
-	return span, nil
+	return units.Seconds(span), nil
 }

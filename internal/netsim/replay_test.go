@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"geoprocmap/internal/trace"
+	"geoprocmap/internal/units"
 )
 
 func TestReplayEmpty(t *testing.T) {
@@ -22,7 +23,7 @@ func TestReplaySingleMessage(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := 10e6/10e6 + 0.1
-	if !almost(got, want, 1e-9) {
+	if !almost(got.Float(), want, 1e-9) {
 		t.Errorf("replay = %v, want %v", got, want)
 	}
 }
@@ -41,7 +42,7 @@ func TestReplayDependencyChain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !almost(got, 3.201, 1e-6) {
+	if !almost(got.Float(), 3.201, 1e-6) {
 		t.Errorf("chain replay = %v, want 3.201", got)
 	}
 }
@@ -58,7 +59,7 @@ func TestReplayWANSerialization(t *testing.T) {
 		t.Fatal(err)
 	}
 	// First: 0→1s; second queues: 1→2s; arrival 2.1.
-	if !almost(got, 2.1, 1e-9) {
+	if !almost(got.Float(), 2.1, 1e-9) {
 		t.Errorf("serialized replay = %v, want 2.1", got)
 	}
 }
@@ -74,7 +75,7 @@ func TestReplayOppositeDirectionsIndependent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !almost(got, 1.1, 1e-9) {
+	if !almost(got.Float(), 1.1, 1e-9) {
 		t.Errorf("bidirectional replay = %v, want 1.1 (independent pipes)", got)
 	}
 }
@@ -127,7 +128,7 @@ func TestQuickReplayMonotone(t *testing.T) {
 			raw = raw[:15]
 		}
 		var events []trace.Event
-		prev := -1.0
+		prev := units.Seconds(-1)
 		for _, r := range raw {
 			src := int(r % 4)
 			dst := int((r / 4) % 4)
@@ -167,7 +168,7 @@ func TestQuickReplayLowerBound(t *testing.T) {
 			raw = raw[:10]
 		}
 		var events []trace.Event
-		lower := 0.0
+		lower := units.Seconds(0)
 		for _, r := range raw {
 			src := int(r % 4)
 			dst := int((r / 4) % 4)
@@ -181,7 +182,7 @@ func TestQuickReplayLowerBound(t *testing.T) {
 			if cross && capacity < rate {
 				rate = capacity
 			}
-			if lb := float64(bytes)/rate + lat; lb > lower {
+			if lb := units.Bytes(bytes).Over(rate) + lat; lb > lower {
 				lower = lb
 			}
 		}
