@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race faults check
+.PHONY: all build vet lint test race faults serve-smoke check
 
 all: check
 
@@ -21,9 +21,10 @@ test:
 	$(GO) test ./...
 
 # Race-detector pass over the packages that spawn goroutines (the virtual
-# MPI scheduler and the network simulator).
+# MPI scheduler, the network simulator, and the mapping service's pool/
+# cache/snapshot-store).
 race:
-	$(GO) test -race ./internal/mpi/... ./internal/netsim/...
+	$(GO) test -race ./internal/mpi/... ./internal/netsim/... ./internal/service/...
 
 # Fault-injection smoke: replay LU through the FlakyWAN preset and run the
 # failure-aware remap path end to end (internal/faults + netsim faulty
@@ -31,4 +32,10 @@ race:
 faults:
 	$(GO) run ./cmd/geosim -app LU -n 64 -faults FlakyWAN
 
-check: build vet lint test race faults
+# Service smoke: boot geomapd on an ephemeral port, replay the same
+# seeded geoload mix twice, and require byte-identical placement
+# digests, a fully cache-served warm run, and a clean SIGTERM drain.
+serve-smoke:
+	./scripts/serve_smoke.sh
+
+check: build vet lint test race faults serve-smoke

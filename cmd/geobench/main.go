@@ -16,19 +16,25 @@ import (
 	"path/filepath"
 	"strings"
 
+	"geoprocmap/internal/buildinfo"
 	"geoprocmap/internal/experiments"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "comma-separated experiment ids (see -list) or \"all\"")
-		seed  = flag.Int64("seed", 1, "random seed for cloud jitter, calibration noise and constraint draws")
-		quick = flag.Bool("quick", false, "reduced scales and sample counts (seconds instead of minutes)")
-		ratio = flag.Float64("constraints", 0.2, "data-movement constraint ratio")
-		out   = flag.String("out", "", "directory to write per-experiment .txt and .csv files")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
+		exp         = flag.String("exp", "all", "comma-separated experiment ids (see -list) or \"all\"")
+		seed        = flag.Int64("seed", 1, "random seed for cloud jitter, calibration noise and constraint draws")
+		quick       = flag.Bool("quick", false, "reduced scales and sample counts (seconds instead of minutes)")
+		ratio       = flag.Float64("constraints", 0.2, "data-movement constraint ratio")
+		out         = flag.String("out", "", "directory to write per-experiment .txt and .csv files")
+		list        = flag.Bool("list", false, "list experiment ids and exit")
+		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(buildinfo.Version("geobench"))
+		return
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {

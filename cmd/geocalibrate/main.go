@@ -21,6 +21,7 @@ import (
 	"os"
 	"strings"
 
+	"geoprocmap/internal/buildinfo"
 	"geoprocmap/internal/calib"
 	"geoprocmap/internal/faults"
 	"geoprocmap/internal/netmodel"
@@ -37,8 +38,14 @@ func main() {
 		samples   = flag.Int("samples", 10, "samples per day per site pair")
 		seed      = flag.Int64("seed", 1, "random seed")
 		faultSpec = flag.String("faults", "", "fault schedule: a preset name ("+fmt.Sprint(faults.PresetNames())+") or a JSON file")
+
+		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(buildinfo.Version("geocalibrate"))
+		return
+	}
 
 	var p *netmodel.Provider
 	switch *provider {

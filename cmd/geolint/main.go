@@ -24,6 +24,7 @@ import (
 	"path/filepath"
 
 	"geoprocmap/internal/analysis"
+	"geoprocmap/internal/buildinfo"
 )
 
 // jsonFinding is the -json wire format, one object per finding.
@@ -39,11 +40,16 @@ func main() {
 	listRules := flag.Bool("rules", false, "list the rules and exit")
 	asJSON := flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	staleIgnores := flag.Bool("staleignores", false, "also report //geolint:ignore directives that suppress nothing")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: geolint [-rules] [-json] [-staleignores] [patterns]\n")
+		fmt.Fprintf(os.Stderr, "usage: geolint [-rules] [-json] [-staleignores] [-version] [patterns]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(buildinfo.Version("geolint"))
+		return
+	}
 
 	rules := analysis.DefaultRules()
 	if *listRules {

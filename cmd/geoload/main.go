@@ -1,0 +1,233 @@
+// Command geoload is a seeded closed-loop load generator for geomapd.
+// Each of -c workers repeatedly draws the next request from a
+// deterministic mix of cached (a small pool of repeating requests),
+// novel (unique seed per request), and constrained (random pins)
+// mapping requests, posts it, and records the latency. The run reports
+// throughput, latency percentiles, outcome counts, and a placement
+// digest folded over every response in request order — two runs with
+// the same -seed against equivalent servers must print the same digest,
+// which is how the serve-smoke CI target asserts end-to-end
+// determinism.
+//
+// Usage:
+//
+//	geoload -url http://127.0.0.1:8080 -n 200 -c 8
+//	geoload -url http://$(cat /tmp/geomapd.addr) -mix 0.8,0.15,0.05
+package main
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"geoprocmap/internal/buildinfo"
+	"geoprocmap/internal/service"
+	"geoprocmap/internal/stats"
+)
+
+func main() {
+	var (
+		url         = flag.String("url", "http://127.0.0.1:8080", "geomapd base URL")
+		requests    = flag.Int("n", 200, "total requests to issue")
+		concurrency = flag.Int("c", 8, "concurrent closed-loop workers")
+		mix         = flag.String("mix", "0.70,0.20,0.10", "cached,novel,constrained request fractions")
+		app         = flag.String("app", "LU", "workload preset for generated requests")
+		procs       = flag.Int("procs", 16, "processes per request")
+		sites       = flag.Int("sites", 4, "site count for constrained requests (pins draw from [0,sites))")
+		cachedPool  = flag.Int("pool", 4, "distinct requests in the cached pool")
+		seed        = flag.Int64("seed", 1, "random seed for the request stream")
+		timeout     = flag.Duration("timeout", 60*time.Second, "per-request HTTP timeout")
+		showVersion = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Parse()
+	if *showVersion {
+		fmt.Println(buildinfo.Version("geoload"))
+		return
+	}
+	fracs, err := parseMix(*mix)
+	if err != nil {
+		fatal(err)
+	}
+	if *requests < 1 || *concurrency < 1 {
+		fatal(fmt.Errorf("-n and -c must be positive"))
+	}
+
+	// The full request stream is generated up front from one seeded
+	// source: worker scheduling cannot perturb which requests exist,
+	// only the order they land in, and digests are folded in request
+	// order afterwards.
+	reqs := make([]service.MapRequest, *requests)
+	rng := stats.NewRand(*seed)
+	for i := range reqs {
+		r := service.MapRequest{Workload: *app, Procs: *procs}
+		switch x := rng.Float64(); {
+		case x < fracs[0]: // cached: draw from a small pool of seeds
+			r.Seed = *seed + int64(rng.Intn(*cachedPool))
+		case x < fracs[0]+fracs[1]: // novel: unique seed
+			r.Seed = *seed + 1000 + int64(i)
+		default: // constrained: unique seed plus random pins
+			r.Seed = *seed + 2000 + int64(i)
+			r.Constraint = make([]int, *procs)
+			for p := range r.Constraint {
+				r.Constraint[p] = -1
+			}
+			for pinned := 0; pinned < 1+rng.Intn(3); pinned++ {
+				r.Constraint[rng.Intn(*procs)] = rng.Intn(*sites)
+			}
+		}
+		reqs[i] = r
+	}
+
+	type outcome struct {
+		status  int
+		cached  bool
+		deduped bool
+		digest  string
+		seconds float64
+		err     error
+	}
+	results := make([]outcome, *requests)
+	client := &http.Client{Timeout: *timeout}
+	next := make(chan int, *concurrency)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i] = post(client, *url, &reqs[i])
+			}
+		}()
+	}
+	for i := range reqs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var (
+		ok, cached, deduped, failed int
+		lats                        []float64
+		combined                    = sha256.New()
+	)
+	for i, res := range results {
+		if res.err != nil || res.status != http.StatusOK {
+			failed++
+			if failed <= 3 { // show the first few failures, not a flood
+				if res.err != nil {
+					fmt.Fprintf(os.Stderr, "geoload: request %d: %v\n", i, res.err)
+				} else {
+					fmt.Fprintf(os.Stderr, "geoload: request %d: HTTP %d\n", i, res.status)
+				}
+			}
+			continue
+		}
+		ok++
+		if res.cached {
+			cached++
+		}
+		if res.deduped {
+			deduped++
+		}
+		lats = append(lats, res.seconds*1e3)
+		// Fold digests in request order so worker interleaving cannot
+		// change the combined value.
+		fmt.Fprintf(combined, "%d:%s\n", i, res.digest) //geolint:ignore errcheck hash.Hash.Write documents a nil error
+	}
+
+	fmt.Printf("geoload: %d requests in %.2fs (%.0f req/s), concurrency %d, seed %d\n",
+		*requests, elapsed.Seconds(), float64(*requests)/elapsed.Seconds(), *concurrency, *seed)
+	fmt.Printf("  ok %d, cached %d, deduped %d, failed %d\n", ok, cached, deduped, failed)
+	if len(lats) > 0 {
+		sort.Float64s(lats)
+		fmt.Printf("  latency ms: p50 %.2f  p90 %.2f  p99 %.2f  max %.2f\n",
+			stats.Percentile(lats, 50), stats.Percentile(lats, 90), stats.Percentile(lats, 99), stats.Max(lats))
+	}
+	fmt.Printf("  placement digest: %s\n", hex.EncodeToString(combined.Sum(nil)))
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// post issues one mapping request and decodes the pieces the report
+// needs.
+func post(client *http.Client, base string, req *service.MapRequest) (out struct {
+	status  int
+	cached  bool
+	deduped bool
+	digest  string
+	seconds float64
+	err     error
+}) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		out.err = err
+		return
+	}
+	t0 := time.Now()
+	resp, err := client.Post(base+"/v1/map", "application/json", bytes.NewReader(body))
+	out.seconds = time.Since(t0).Seconds()
+	if err != nil {
+		out.err = err
+		return
+	}
+	defer resp.Body.Close() //geolint:ignore errcheck best-effort close of a response body already read to EOF
+	out.status = resp.StatusCode
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		out.err = err
+		return
+	}
+	if resp.StatusCode != http.StatusOK {
+		return
+	}
+	var mr service.MapResponse
+	if err := json.Unmarshal(data, &mr); err != nil {
+		out.err = err
+		return
+	}
+	out.cached = mr.Cached
+	out.deduped = mr.Deduped
+	out.digest = mr.Digest
+	return
+}
+
+// parseMix parses "a,b,c" fractions summing to ~1.
+func parseMix(s string) ([3]float64, error) {
+	var fracs [3]float64
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		return fracs, fmt.Errorf("-mix needs three comma-separated fractions, got %q", s)
+	}
+	sum := 0.0
+	for i, p := range parts {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || f < 0 {
+			return fracs, fmt.Errorf("-mix fraction %q invalid", p)
+		}
+		fracs[i] = f
+		sum += f
+	}
+	if sum < 0.999 || sum > 1.001 {
+		return fracs, fmt.Errorf("-mix fractions sum to %g, want 1", sum)
+	}
+	return fracs, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "geoload:", err)
+	os.Exit(1)
+}

@@ -17,6 +17,7 @@ import (
 
 	"geoprocmap/internal/apps"
 	"geoprocmap/internal/baselines"
+	"geoprocmap/internal/buildinfo"
 	"geoprocmap/internal/core"
 	"geoprocmap/internal/experiments"
 	"geoprocmap/internal/netmodel"
@@ -36,8 +37,14 @@ func main() {
 		verbose  = flag.Bool("v", false, "print the full placement vector")
 		expProb  = flag.String("export-problem", "", "write the assembled problem as JSON to this file")
 		expPlace = flag.String("export-placement", "", "write the computed placement as JSON to this file")
+
+		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(buildinfo.Version("geomap"))
+		return
+	}
 
 	app, err := apps.ByName(*appName)
 	if err != nil {

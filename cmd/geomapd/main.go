@@ -1,0 +1,157 @@
+// Command geomapd serves process mappings over HTTP: POST a comm
+// matrix or a named workload preset to /v1/map and get back a
+// placement, its cost split, and the version of the network snapshot it
+// was solved against. Solves run on a bounded worker pool, identical
+// requests are deduplicated in flight and answered from an LRU result
+// cache, and operators feed fresh calibration matrices or fault reports
+// through POST /admin/snapshot without restarting the daemon.
+//
+// Usage:
+//
+//	geomapd                                    # paper's 4-region EC2 cloud, :8080
+//	geomapd -addr 127.0.0.1:0 -addr-file /tmp/geomapd.addr
+//	geomapd -regions us-east,eu-west -nodes 32 -workers 8
+//	geomapd -calib -days 3                     # bootstrap snapshot from calibration
+//
+// SIGTERM or SIGINT starts a graceful drain: the listener stops
+// accepting, in-flight requests finish, the solve queue empties, and
+// then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"geoprocmap/internal/buildinfo"
+	"geoprocmap/internal/calib"
+	"geoprocmap/internal/netmodel"
+	"geoprocmap/internal/service"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address (use 127.0.0.1:0 for an ephemeral port)")
+		addrFile    = flag.String("addr-file", "", "write the bound address to this file once listening")
+		provider    = flag.String("provider", "ec2", "cloud provider: ec2 or azure")
+		regions     = flag.String("regions", strings.Join(netmodel.PaperEC2Regions, ","), "comma-separated regions")
+		instance    = flag.String("instance", "m4.xlarge", "instance type")
+		nodes       = flag.Int("nodes", 16, "nodes per site")
+		seed        = flag.Int64("seed", 1, "random seed for the modeled cloud")
+		useCalib    = flag.Bool("calib", false, "bootstrap the snapshot from a calibration run instead of ground truth")
+		days        = flag.Int("days", 1, "calibration days (with -calib)")
+		samples     = flag.Int("samples", 5, "calibration samples per day per pair (with -calib)")
+		workers     = flag.Int("workers", 4, "solver pool size")
+		queueDepth  = flag.Int("queue", 0, "pending-solve bound before shedding (default 4×workers)")
+		cacheSize   = flag.Int("cache", 1024, "result cache entries")
+		maxProcs    = flag.Int("max-procs", 4096, "largest accepted process count")
+		deadline    = flag.Duration("deadline", 30*time.Second, "default per-request solve deadline")
+		showVersion = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Parse()
+	if *showVersion {
+		fmt.Println(buildinfo.Version("geomapd"))
+		return
+	}
+
+	var p *netmodel.Provider
+	switch *provider {
+	case "ec2":
+		p = netmodel.AmazonEC2
+	case "azure":
+		p = netmodel.WindowsAzure
+	default:
+		fatal(fmt.Errorf("unknown provider %q", *provider))
+	}
+	cloud, err := netmodel.EvenCloud(p, *instance, strings.Split(*regions, ","), *nodes, netmodel.Options{Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+
+	snap := service.SnapshotFromCloud(cloud)
+	if *useCalib {
+		res, err := calib.Calibrate(cloud, calib.Options{Seed: *seed, Days: *days, SamplesPerDay: *samples})
+		if err != nil {
+			fatal(err)
+		}
+		if snap, err = service.SnapshotFromCalibration(cloud, res); err != nil {
+			fatal(err)
+		}
+	}
+	store, err := service.NewStore(snap)
+	if err != nil {
+		fatal(err)
+	}
+
+	logger := log.New(os.Stderr, "geomapd: ", log.LstdFlags)
+	srv, err := service.NewServer(service.Config{
+		Store:           store,
+		Workers:         *workers,
+		QueueDepth:      *queueDepth,
+		CacheSize:       *cacheSize,
+		MaxProcs:        *maxProcs,
+		DefaultDeadline: *deadline,
+		Logf:            logger.Printf,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	if *addrFile != "" {
+		// Written atomically-enough for the smoke harness: the rename
+		// makes the file appear only with its full contents.
+		tmp := *addrFile + ".tmp"
+		if err := os.WriteFile(tmp, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			fatal(err)
+		}
+		if err := os.Rename(tmp, *addrFile); err != nil {
+			fatal(err)
+		}
+	}
+	logger.Printf("listening on %s (%d sites × %d nodes, snapshot v%d from %s)",
+		ln.Addr(), cloud.M(), *nodes, store.Current().Version, store.Current().Source)
+
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-stop:
+		logger.Printf("received %s, draining", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			logger.Printf("shutdown: %v", err)
+		}
+	case err := <-serveErr:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	}
+	// The listener is closed and in-flight handlers have returned; drain
+	// whatever the pool still holds before reporting final counters.
+	srv.Close()
+	v := srv.Metrics().Snapshot(0, 0)
+	logger.Printf("drained: %d requests (%d solves, %d cache hits, %d deduped, %d shed)",
+		v.Requests, v.Solves, v.CacheHits, v.Deduped, v.Rejected)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "geomapd:", err)
+	os.Exit(1)
+}

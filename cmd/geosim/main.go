@@ -22,6 +22,7 @@ import (
 
 	"geoprocmap/internal/apps"
 	"geoprocmap/internal/baselines"
+	"geoprocmap/internal/buildinfo"
 	"geoprocmap/internal/core"
 	"geoprocmap/internal/experiments"
 	"geoprocmap/internal/faults"
@@ -38,8 +39,14 @@ func main() {
 		repeats   = flag.Int("repeats", 10, "random baselines averaged")
 		seed      = flag.Int64("seed", 1, "random seed")
 		faultSpec = flag.String("faults", "", "fault schedule: a preset name ("+fmt.Sprint(faults.PresetNames())+") or a JSON file")
+
+		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(buildinfo.Version("geosim"))
+		return
+	}
 
 	app, err := apps.ByName(*appName)
 	if err != nil {

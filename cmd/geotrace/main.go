@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"geoprocmap/internal/apps"
+	"geoprocmap/internal/buildinfo"
 	"geoprocmap/internal/experiments"
 	"geoprocmap/internal/netmodel"
 	"geoprocmap/internal/trace"
@@ -27,8 +28,14 @@ func main() {
 		iters   = flag.Int("iters", 0, "iterations to trace (0 = workload default)")
 		proc    = flag.Int("proc", -1, "print this process's compressed event stream")
 		bins    = flag.Int("bins", 16, "heatmap resolution")
+
+		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(buildinfo.Version("geotrace"))
+		return
+	}
 
 	app, err := apps.ByName(*appName)
 	if err != nil {

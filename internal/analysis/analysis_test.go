@@ -30,6 +30,7 @@ func TestRuleGolden(t *testing.T) {
 		{"unitcheck", "geoprocmap/internal/core/fixture", &UnitCheckRule{}},
 		{"mapiter", "geoprocmap/internal/fixture", &MapIterRule{}},
 		{"errcheck", "geoprocmap/internal/fixture", &ErrCheckRule{}},
+		{"errcheckcmd", "geoprocmap/cmd/fixture", &ErrCheckRule{}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

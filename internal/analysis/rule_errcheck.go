@@ -6,11 +6,13 @@ import (
 	"strings"
 )
 
-// ErrCheckRule flags silently discarded error returns in internal/...:
-// a call whose last result is an error, used as a bare statement (or the
-// call of a go/defer) without consuming any result. A dropped error in
-// the calibration or experiment pipeline turns an I/O or validation
-// failure into silently wrong numbers, which is worse than a crash.
+// ErrCheckRule flags silently discarded error returns in internal/...
+// and cmd/...: a call whose last result is an error, used as a bare
+// statement (or the call of a go/defer) without consuming any result. A
+// dropped error in the calibration or experiment pipeline turns an I/O
+// or validation failure into silently wrong numbers, which is worse
+// than a crash; in the CLIs it turns a failed run into a silently
+// truncated report.
 //
 // Consuming the error explicitly with `_ = f()` is allowed — it is
 // greppable and states intent. Writers that cannot fail are exempt:
@@ -22,11 +24,11 @@ type ErrCheckRule struct{}
 func (*ErrCheckRule) ID() string { return "errcheck" }
 
 func (*ErrCheckRule) Doc() string {
-	return "flag discarded error returns in internal/... ; handle the error or assign it to _ explicitly"
+	return "flag discarded error returns in internal/... and cmd/... ; handle the error or assign it to _ explicitly"
 }
 
 func (r *ErrCheckRule) inScope(path string) bool {
-	return strings.Contains(path, "/internal/")
+	return strings.Contains(path, "/internal/") || strings.Contains(path, "/cmd/")
 }
 
 func (r *ErrCheckRule) Check(p *Pass) []Finding {

@@ -1,0 +1,44 @@
+// Command fixture exercises the errcheck rule's cmd/... scope: the
+// CLIs must not silently discard error returns either.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+func mayFail() error { return nil }
+
+// main drops an error in command wiring — exactly the class of bug the
+// cmd scope exists to catch.
+func main() {
+	mayFail() // want errcheck
+}
+
+// encodeDrop loses a JSON encoding failure, truncating output silently.
+func encodeDrop(w io.Writer, v any) {
+	json.NewEncoder(w).Encode(v) // want errcheck
+}
+
+// deferDrop loses the error of a deferred close.
+func deferDrop(f *os.File) {
+	defer f.Close() // want errcheck
+}
+
+// --- consumed or infallible: the rule must not flag ----------------------
+
+// handled propagates the error.
+func handled() error { return mayFail() }
+
+// stderrDiagnostics go to the process's own streams.
+func stderrDiagnostics() {
+	fmt.Println("progress")
+	fmt.Fprintln(os.Stderr, "fixture: something went wrong")
+}
+
+// bestEffort documents why the discard is fine.
+func bestEffort(f *os.File) {
+	f.Sync() //geolint:ignore errcheck best-effort flush before exit; no recovery path in a CLI
+}

@@ -1,0 +1,55 @@
+// Package buildinfo derives a version string for the repo's CLIs from
+// the build metadata the Go toolchain embeds in every binary, so all
+// eight commands report a consistent -version without any linker-flag
+// plumbing in the Makefile.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// read is swapped in tests; production always uses debug.ReadBuildInfo.
+var read = debug.ReadBuildInfo
+
+// Version returns a human-readable version line for the named command,
+// e.g. "geomapd geoprocmap (devel) go1.22.1 vcs 117e0bf (modified)".
+// Fields that the toolchain did not record are omitted; a binary built
+// outside module mode degrades to "geomapd (build info unavailable)".
+func Version(command string) string {
+	bi, ok := read()
+	if !ok {
+		return fmt.Sprintf("%s (build info unavailable)", command)
+	}
+	s := command
+	if bi.Main.Path != "" {
+		s += " " + bi.Main.Path
+	}
+	version := bi.Main.Version
+	if version == "" {
+		version = "(devel)"
+	}
+	s += " " + version
+	if bi.GoVersion != "" {
+		s += " " + bi.GoVersion
+	}
+	var revision, modified string
+	for _, kv := range bi.Settings {
+		switch kv.Key {
+		case "vcs.revision":
+			revision = kv.Value
+		case "vcs.modified":
+			modified = kv.Value
+		}
+	}
+	if revision != "" {
+		if len(revision) > 12 {
+			revision = revision[:12]
+		}
+		s += " vcs " + revision
+		if modified == "true" {
+			s += " (modified)"
+		}
+	}
+	return s
+}

@@ -1,0 +1,50 @@
+package buildinfo
+
+import (
+	"runtime/debug"
+	"strings"
+	"testing"
+)
+
+func withRead(t *testing.T, fn func() (*debug.BuildInfo, bool)) {
+	t.Helper()
+	old := read
+	read = fn
+	t.Cleanup(func() { read = old })
+}
+
+func TestVersionFromTestBinary(t *testing.T) {
+	// The real test binary always carries build info.
+	v := Version("geomapd")
+	if !strings.HasPrefix(v, "geomapd ") {
+		t.Errorf("version %q does not lead with the command name", v)
+	}
+	if strings.Contains(v, "unavailable") {
+		t.Errorf("test binary reported no build info: %q", v)
+	}
+}
+
+func TestVersionDegradesWithoutBuildInfo(t *testing.T) {
+	withRead(t, func() (*debug.BuildInfo, bool) { return nil, false })
+	if got := Version("geoload"); got != "geoload (build info unavailable)" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestVersionIncludesTruncatedRevision(t *testing.T) {
+	withRead(t, func() (*debug.BuildInfo, bool) {
+		return &debug.BuildInfo{
+			GoVersion: "go1.22.1",
+			Main:      debug.Module{Path: "geoprocmap", Version: "v1.2.3"},
+			Settings: []debug.BuildSetting{
+				{Key: "vcs.revision", Value: "0123456789abcdef0123"},
+				{Key: "vcs.modified", Value: "true"},
+			},
+		}, true
+	})
+	got := Version("geomap")
+	want := "geomap geoprocmap v1.2.3 go1.22.1 vcs 0123456789ab (modified)"
+	if got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}

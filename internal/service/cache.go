@@ -1,0 +1,126 @@
+package service
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// resultCache is a fingerprint-keyed LRU of solved mapping results with
+// singleflight deduplication: concurrent requests for the same
+// fingerprint collapse onto one solve, and completed solves are retained
+// up to a capacity bound. Keys embed the snapshot version (see
+// fingerprint.go), so a snapshot swap makes old entries unreachable and
+// ordinary LRU pressure evicts them — no flush path, no invalidation
+// races.
+type resultCache struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List               // front = most recent
+	entries  map[string]*list.Element // fingerprint → element whose Value is *cacheEntry
+	inflight map[string]*flight       // fingerprint → in-progress solve
+}
+
+type cacheEntry struct {
+	key string
+	res *MapResult
+}
+
+// flight is one in-progress solve other requests can wait on.
+type flight struct {
+	done chan struct{}
+	res  *MapResult
+	err  error
+}
+
+func newResultCache(capacity int) *resultCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &resultCache{
+		capacity: capacity,
+		order:    list.New(),
+		entries:  make(map[string]*list.Element),
+		inflight: make(map[string]*flight),
+	}
+}
+
+// get returns the cached result for key, refreshing its recency.
+func (c *resultCache) get(key string) (*MapResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// add inserts a result, evicting the least-recently-used entry past
+// capacity.
+func (c *resultCache) add(key string, res *MapResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*cacheEntry).res = res
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+	for c.order.Len() > c.capacity {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*cacheEntry).key)
+	}
+}
+
+// len returns the number of cached results.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// do runs solve for key exactly once across concurrent callers: the
+// first caller executes it, later callers receive the same result once
+// it completes — or their own ctx error if their deadline fires first
+// (the leader's solve keeps running for the callers still waiting). A
+// cached result short-circuits before any flight is created. The boolean
+// reports whether this caller shared another caller's solve
+// (deduplicated) rather than executing its own.
+//
+// Successful results are added to the LRU before the flight resolves, so
+// a request arriving after completion hits the cache directly. Errors
+// are not cached: the next request retries.
+func (c *resultCache) do(ctx context.Context, key string, solve func() (*MapResult, error)) (res *MapResult, shared bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		res = el.Value.(*cacheEntry).res
+		c.mu.Unlock()
+		return res, true, nil
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.res, true, f.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.mu.Unlock()
+
+	f.res, f.err = solve()
+	if f.err == nil {
+		c.add(key, f.res)
+	}
+	c.mu.Lock()
+	delete(c.inflight, key)
+	c.mu.Unlock()
+	close(f.done)
+	return f.res, false, f.err
+}

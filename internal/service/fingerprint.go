@@ -1,0 +1,94 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"math"
+	"sort"
+
+	"geoprocmap/internal/core"
+)
+
+// fingerprint computes the canonical cache key of a request solved
+// against a snapshot version. Everything that can change the placement
+// participates: the communication pattern (preset name or sorted edge
+// list), pins, allowed sets, solver choice and seed, and the snapshot
+// version itself. Two requests with the same fingerprint are guaranteed
+// to produce bit-identical results, which is what lets the cache and the
+// singleflight layer return one request's answer to another.
+func fingerprint(r *MapRequest, snapshotVersion uint64) string {
+	h := sha256.New()
+	writeU64(h, snapshotVersion)
+	writeStr(h, r.Algorithm)
+	writeU64(h, uint64(r.Kappa))
+	writeU64(h, uint64(r.Seed))
+	writeU64(h, uint64(r.Procs))
+	writeU64(h, uint64(r.iters()))
+	writeStr(h, r.Workload)
+	if len(r.Edges) > 0 {
+		edges := append([]Edge(nil), r.Edges...)
+		sort.Slice(edges, func(i, j int) bool {
+			if edges[i].Src != edges[j].Src {
+				return edges[i].Src < edges[j].Src
+			}
+			return edges[i].Dst < edges[j].Dst
+		})
+		writeU64(h, uint64(len(edges)))
+		for _, e := range edges {
+			writeU64(h, uint64(e.Src))
+			writeU64(h, uint64(e.Dst))
+			writeF64(h, e.Volume)
+			writeF64(h, e.Msgs)
+		}
+	}
+	// An all-Unconstrained vector fingerprints identically to an absent
+	// one, matching how the problem is built.
+	pinned := false
+	for _, c := range r.Constraint {
+		if c != core.Unconstrained {
+			pinned = true
+			break
+		}
+	}
+	if pinned {
+		writeU64(h, uint64(len(r.Constraint)))
+		for _, c := range r.Constraint {
+			writeU64(h, uint64(int64(c)))
+		}
+	}
+	if len(r.Allowed) > 0 {
+		writeU64(h, uint64(len(r.Allowed)))
+		for _, set := range r.Allowed {
+			writeU64(h, uint64(len(set)))
+			for _, s := range set {
+				writeU64(h, uint64(s))
+			}
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// placementDigest is the canonical SHA-256 of a placement vector,
+// exposed in responses so clients can assert determinism cheaply.
+func placementDigest(pl core.Placement) string {
+	h := sha256.New()
+	for _, s := range pl {
+		writeU64(h, uint64(int64(s)))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func writeU64(h hash.Hash, v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	h.Write(buf[:]) //geolint:ignore errcheck hash.Hash.Write documents a nil error
+}
+
+func writeF64(h hash.Hash, v float64) { writeU64(h, math.Float64bits(v)) }
+
+func writeStr(h hash.Hash, s string) {
+	writeU64(h, uint64(len(s)))
+	h.Write([]byte(s)) //geolint:ignore errcheck hash.Hash.Write documents a nil error
+}

@@ -1,0 +1,197 @@
+package service
+
+import (
+	"sync"
+
+	"geoprocmap/internal/stats"
+)
+
+// latencyWindow is how many recent samples each latency distribution
+// retains; percentiles are computed over this sliding window so /metrics
+// reflects current behavior, not the daemon's whole lifetime.
+const latencyWindow = 4096
+
+// Metrics is the daemon's operational counter set. All methods are safe
+// for concurrent use; reads take a consistent point-in-time view.
+type Metrics struct {
+	mu sync.Mutex
+
+	requests   uint64
+	cacheHits  uint64
+	deduped    uint64
+	solves     uint64
+	errors     uint64
+	rejected   uint64 // queue-full sheds
+	timeouts   uint64 // deadline exceeded
+	snapshots  uint64 // snapshot publications observed via RecordSnapshot
+	reqLat     *ring
+	solveLat   *ring
+	inflight   int
+	maxInflate int // high-water mark of concurrent requests
+}
+
+// ring is a fixed-capacity overwrite-oldest sample buffer.
+type ring struct {
+	buf  []float64
+	next int
+	full bool
+}
+
+func newRing(n int) *ring { return &ring{buf: make([]float64, n)} }
+
+func (r *ring) add(v float64) {
+	r.buf[r.next] = v
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// samples returns a copy of the live window.
+func (r *ring) samples() []float64 {
+	if r.full {
+		return append([]float64(nil), r.buf...)
+	}
+	return append([]float64(nil), r.buf[:r.next]...)
+}
+
+// NewMetrics returns an empty counter set.
+func NewMetrics() *Metrics {
+	return &Metrics{reqLat: newRing(latencyWindow), solveLat: newRing(latencyWindow)}
+}
+
+// RequestStarted marks a request in flight.
+func (m *Metrics) RequestStarted() {
+	m.mu.Lock()
+	m.requests++
+	m.inflight++
+	if m.inflight > m.maxInflate {
+		m.maxInflate = m.inflight
+	}
+	m.mu.Unlock()
+}
+
+// RequestFinished records a request's end-to-end seconds and outcome.
+func (m *Metrics) RequestFinished(seconds float64, outcome Outcome) {
+	m.mu.Lock()
+	m.inflight--
+	m.reqLat.add(seconds)
+	switch outcome {
+	case OutcomeCached:
+		m.cacheHits++
+	case OutcomeDeduped:
+		m.deduped++
+	case OutcomeSolved:
+	case OutcomeRejected:
+		m.rejected++
+	case OutcomeTimeout:
+		m.timeouts++
+	case OutcomeError:
+		m.errors++
+	}
+	m.mu.Unlock()
+}
+
+// SolveFinished records one executed solve's seconds.
+func (m *Metrics) SolveFinished(seconds float64) {
+	m.mu.Lock()
+	m.solves++
+	m.solveLat.add(seconds)
+	m.mu.Unlock()
+}
+
+// RecordSnapshot notes a snapshot publication.
+func (m *Metrics) RecordSnapshot() {
+	m.mu.Lock()
+	m.snapshots++
+	m.mu.Unlock()
+}
+
+// Outcome classifies how a request ended.
+type Outcome int
+
+// Request outcomes, in rough order of desirability.
+const (
+	OutcomeSolved Outcome = iota
+	OutcomeCached
+	OutcomeDeduped
+	OutcomeRejected
+	OutcomeTimeout
+	OutcomeError
+)
+
+// LatencySummary is a percentile digest of one latency distribution.
+type LatencySummary struct {
+	Count int     `json:"count"`
+	P50   float64 `json:"p50_ms"`
+	P90   float64 `json:"p90_ms"`
+	P99   float64 `json:"p99_ms"`
+	Max   float64 `json:"max_ms"`
+}
+
+// View is the point-in-time JSON shape of /metrics.
+type View struct {
+	Requests       uint64         `json:"requests"`
+	CacheHits      uint64         `json:"cache_hits"`
+	Deduped        uint64         `json:"deduped"`
+	Solves         uint64         `json:"solves"`
+	Errors         uint64         `json:"errors"`
+	Rejected       uint64         `json:"rejected"`
+	Timeouts       uint64         `json:"timeouts"`
+	Snapshots      uint64         `json:"snapshot_publications"`
+	HitRate        float64        `json:"cache_hit_rate"`
+	Inflight       int            `json:"inflight"`
+	MaxInflight    int            `json:"max_inflight"`
+	QueueDepth     int            `json:"queue_depth"`
+	CacheEntries   int            `json:"cache_entries"`
+	RequestLatency LatencySummary `json:"request_latency"`
+	SolveLatency   LatencySummary `json:"solve_latency"`
+}
+
+// Snapshot summarizes the counters. Queue depth and cache size are
+// supplied by the caller (they live on the pool and cache).
+func (m *Metrics) Snapshot(queueDepth, cacheEntries int) View {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v := View{
+		Requests:     m.requests,
+		CacheHits:    m.cacheHits,
+		Deduped:      m.deduped,
+		Solves:       m.solves,
+		Errors:       m.errors,
+		Rejected:     m.rejected,
+		Timeouts:     m.timeouts,
+		Snapshots:    m.snapshots,
+		Inflight:     m.inflight,
+		MaxInflight:  m.maxInflate,
+		QueueDepth:   queueDepth,
+		CacheEntries: cacheEntries,
+	}
+	if m.requests > 0 {
+		v.HitRate = float64(m.cacheHits) / float64(m.requests)
+	}
+	v.RequestLatency = summarize(m.reqLat.samples())
+	v.SolveLatency = summarize(m.solveLat.samples())
+	return v
+}
+
+// summarize digests a sample of seconds into millisecond percentiles.
+// stats.Percentile panics on empty input by contract, so the empty
+// window short-circuits to a zero summary.
+func summarize(secs []float64) LatencySummary {
+	if len(secs) == 0 {
+		return LatencySummary{}
+	}
+	ms := make([]float64, len(secs))
+	for i, s := range secs {
+		ms[i] = s * 1e3
+	}
+	return LatencySummary{
+		Count: len(ms),
+		P50:   stats.Percentile(ms, 50),
+		P90:   stats.Percentile(ms, 90),
+		P99:   stats.Percentile(ms, 99),
+		Max:   stats.Max(ms),
+	}
+}

@@ -1,0 +1,108 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Pool is a bounded worker pool for solve jobs. Admission is
+// non-blocking up to the queue bound — a full queue rejects immediately
+// (load shedding) rather than letting latency grow without bound — and a
+// caller whose context expires before its job starts gets the context
+// error without occupying a worker.
+type Pool struct {
+	queue chan *job
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+type job struct {
+	ctx  context.Context
+	run  func()
+	done chan struct{}
+}
+
+// ErrQueueFull is returned by Submit when the pool's queue is at
+// capacity; callers translate it to 503 Service Unavailable.
+var ErrQueueFull = fmt.Errorf("service: solve queue full")
+
+// ErrPoolClosed is returned by Submit after Close; the daemon is
+// draining.
+var ErrPoolClosed = fmt.Errorf("service: pool closed")
+
+// NewPool starts workers goroutines consuming a queue of at most
+// queueDepth pending jobs.
+func NewPool(workers, queueDepth int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueDepth < 1 {
+		queueDepth = 1
+	}
+	p := &Pool{queue: make(chan *job, queueDepth)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for j := range p.queue {
+		// A job whose deadline already passed is not worth starting;
+		// its submitter stopped waiting at ctx.Done.
+		if j.ctx.Err() == nil {
+			j.run()
+		}
+		close(j.done)
+	}
+}
+
+// Submit enqueues run and waits until it has been executed or ctx
+// expires. When ctx expires first, Submit returns the context error; if
+// the job has not started yet it is skipped entirely when a worker
+// reaches it (the closure never runs). The job function must capture its
+// own result delivery.
+func (p *Pool) Submit(ctx context.Context, run func()) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrPoolClosed
+	}
+	j := &job{ctx: ctx, run: run, done: make(chan struct{})}
+	select {
+	case p.queue <- j:
+		p.mu.Unlock()
+	default:
+		p.mu.Unlock()
+		return ErrQueueFull
+	}
+	select {
+	case <-j.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// QueueDepth reports the number of jobs waiting for a worker.
+func (p *Pool) QueueDepth() int { return len(p.queue) }
+
+// Close stops admission and waits for the workers to finish every job
+// already queued — the drain barrier geomapd leans on after the HTTP
+// listener shuts down. Close is idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.queue)
+	p.mu.Unlock()
+	p.wg.Wait()
+}

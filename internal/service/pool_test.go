@@ -1,0 +1,152 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsJobs(t *testing.T) {
+	p := NewPool(2, 4)
+	defer p.Close()
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := p.Submit(context.Background(), func() { ran.Add(1) }); err != nil {
+				// Queue-full sheds are legitimate under this burst; only
+				// executed jobs are counted below.
+				if !errors.Is(err, ErrQueueFull) {
+					t.Error(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if ran.Load() == 0 {
+		t.Error("no job executed")
+	}
+}
+
+func TestPoolShedsWhenQueueFull(t *testing.T) {
+	p := NewPool(1, 1)
+	defer p.Close()
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		_ = p.Submit(context.Background(), func() { close(started); <-block })
+	}()
+	<-started
+	// Worker busy; fill the single queue slot.
+	go func() {
+		_ = p.Submit(context.Background(), func() {})
+	}()
+	// Wait for the filler to occupy the slot, then expect a shed. The
+	// worker is parked inside the first job, so the slot cannot drain.
+	deadline := time.Now().Add(2 * time.Second)
+	for p.QueueDepth() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("filler never occupied the queue slot")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := p.Submit(context.Background(), func() {}); !errors.Is(err, ErrQueueFull) {
+		t.Errorf("err = %v, want ErrQueueFull", err)
+	}
+	close(block)
+}
+
+func TestPoolHonorsContextBeforeStart(t *testing.T) {
+	p := NewPool(1, 4)
+	defer p.Close()
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		_ = p.Submit(context.Background(), func() { close(started); <-block })
+	}()
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := p.Submit(ctx, func() { ran = true })
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	close(block)
+	p.Close() // drain: the skipped job's slot is consumed without running it
+	if ran {
+		t.Error("expired job executed")
+	}
+}
+
+func TestPoolCloseDrainsQueuedJobs(t *testing.T) {
+	p := NewPool(1, 8)
+	var ran atomic.Int64
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		_ = p.Submit(context.Background(), func() { close(started); <-block; ran.Add(1) })
+	}()
+	<-started
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = p.Submit(context.Background(), func() { ran.Add(1) })
+		}()
+	}
+	// Wait for the submitters to enqueue behind the blocked worker.
+	deadline := time.Now().Add(time.Second)
+	for p.QueueDepth() < 4 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	close(block)
+	p.Close()
+	wg.Wait()
+	if got := ran.Load(); got != 5 {
+		t.Errorf("drained %d jobs, want 5", got)
+	}
+	if err := p.Submit(context.Background(), func() {}); !errors.Is(err, ErrPoolClosed) {
+		t.Errorf("post-close Submit err = %v, want ErrPoolClosed", err)
+	}
+	p.Close() // idempotent
+}
+
+// TestPoolStress floods a small pool from many goroutines with mixed
+// deadlines; meaningful under -race.
+func TestPoolStress(t *testing.T) {
+	p := NewPool(4, 64)
+	defer p.Close()
+	var wg sync.WaitGroup
+	var executed atomic.Int64
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				ctx := context.Background()
+				if i%5 == 0 {
+					var cancel context.CancelFunc
+					ctx, cancel = context.WithTimeout(ctx, time.Microsecond)
+					defer cancel()
+				}
+				err := p.Submit(ctx, func() { executed.Add(1) })
+				if err != nil && !errors.Is(err, ErrQueueFull) &&
+					!errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+					t.Errorf("unexpected submit error: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if executed.Load() == 0 {
+		t.Error("stress executed nothing")
+	}
+}

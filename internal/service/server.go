@@ -1,0 +1,366 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"geoprocmap/internal/apps"
+	"geoprocmap/internal/comm"
+	"geoprocmap/internal/faults"
+	"geoprocmap/internal/mat"
+)
+
+// Config assembles a Server. Zero values select the noted defaults.
+type Config struct {
+	// Store supplies network snapshots; required.
+	Store *Store
+	// Workers is the solver pool size (default 4).
+	Workers int
+	// QueueDepth bounds pending solves before requests are shed with
+	// 503 (default 4 × Workers).
+	QueueDepth int
+	// CacheSize bounds the result LRU (default 1024 entries).
+	CacheSize int
+	// MaxProcs is the largest accepted process count (default 4096).
+	MaxProcs int
+	// DefaultDeadline applies to requests that set no deadline_ms
+	// (default 30 s).
+	DefaultDeadline time.Duration
+	// Logf receives operational log lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Server is the mapping service: stateless HTTP handlers over the
+// snapshot store, solver pool, and result cache. Create with NewServer,
+// mount Handler on a listener, and Close to drain.
+type Server struct {
+	store   *Store
+	cache   *resultCache
+	pool    *Pool
+	metrics *Metrics
+
+	maxProcs        int
+	defaultDeadline time.Duration
+	logf            func(format string, args ...any)
+	started         time.Time
+
+	// graphs memoizes profiled workload patterns keyed by
+	// "workload/procs/iters"; profiling LU at n=64 costs milliseconds
+	// but doing it per request would dominate cached-path latency.
+	graphMu sync.Mutex
+	graphs  map[string]*comm.Graph
+
+	// solveHook, when non-nil, runs inside every executed solve; tests
+	// use it to inject latency and synchronization.
+	solveHook func()
+}
+
+// NewServer wires the service together.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("service: Config.Store is required")
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = 4
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 4 * cfg.Workers
+	}
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = 1024
+	}
+	if cfg.MaxProcs == 0 {
+		cfg.MaxProcs = 4096
+	}
+	if cfg.DefaultDeadline == 0 {
+		cfg.DefaultDeadline = 30 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Server{
+		store:           cfg.Store,
+		cache:           newResultCache(cfg.CacheSize),
+		pool:            NewPool(cfg.Workers, cfg.QueueDepth),
+		metrics:         NewMetrics(),
+		maxProcs:        cfg.MaxProcs,
+		defaultDeadline: cfg.DefaultDeadline,
+		logf:            cfg.Logf,
+		started:         time.Now(),
+		graphs:          map[string]*comm.Graph{},
+	}, nil
+}
+
+// Metrics exposes the server's counter set (geomapd logs a summary on
+// shutdown).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Close drains the solver pool: admission stops, queued jobs finish.
+// Call after the HTTP listener has stopped accepting connections.
+func (s *Server) Close() { s.pool.Close() }
+
+// Handler returns the service's route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/map", s.handleMap)
+	mux.HandleFunc("GET /v1/snapshot", s.handleSnapshotGet)
+	mux.HandleFunc("POST /admin/snapshot", s.handleSnapshotPost)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// maxBodyBytes bounds request bodies; an explicit 8192-process edge list
+// fits comfortably.
+const maxBodyBytes = 64 << 20
+
+func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.metrics.RequestStarted()
+	outcome := OutcomeError
+	defer func() { s.metrics.RequestFinished(time.Since(start).Seconds(), outcome) }()
+
+	var req MapRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+
+	// The snapshot is pinned once per request: even if a publication
+	// lands mid-solve, this request is answered consistently against
+	// the version it names in the response.
+	snap := s.store.Current()
+	if err := req.validate(s.maxProcs, snap.M()); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	deadline := s.defaultDeadline
+	if req.DeadlineMillis > 0 {
+		deadline = time.Duration(req.DeadlineMillis) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	defer cancel()
+
+	key := fingerprint(&req, snap.Version)
+	if res, ok := s.cache.get(key); ok {
+		outcome = OutcomeCached
+		writeJSON(w, http.StatusOK, MapResponse{MapResult: *res, Cached: true})
+		return
+	}
+
+	res, shared, err := s.cache.do(ctx, key, func() (*MapResult, error) {
+		return s.solve(ctx, &req, snap)
+	})
+	switch {
+	case err == nil:
+		if shared {
+			outcome = OutcomeDeduped
+		} else {
+			outcome = OutcomeSolved
+		}
+		writeJSON(w, http.StatusOK, MapResponse{MapResult: *res, Deduped: shared})
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		outcome = OutcomeTimeout
+		writeError(w, http.StatusGatewayTimeout, fmt.Errorf("deadline of %v exceeded", deadline))
+	case errors.Is(err, ErrQueueFull) || errors.Is(err, ErrPoolClosed):
+		outcome = OutcomeRejected
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err)
+	default:
+		outcome = OutcomeError
+		writeError(w, http.StatusUnprocessableEntity, err)
+	}
+}
+
+// solve runs one mapping end to end on the worker pool: profile (or
+// decode) the pattern, assemble the problem against the pinned snapshot,
+// and map. It is only ever executed by a singleflight leader.
+func (s *Server) solve(ctx context.Context, req *MapRequest, snap *Snapshot) (*MapResult, error) {
+	var (
+		res      *MapResult
+		solveErr error
+	)
+	err := s.pool.Submit(ctx, func() {
+		t0 := time.Now()
+		if s.solveHook != nil {
+			s.solveHook()
+		}
+		prob, err := req.problem(snap, s.graphFor)
+		if err != nil {
+			solveErr = err
+			return
+		}
+		mapper, err := req.mapper()
+		if err != nil {
+			solveErr = err
+			return
+		}
+		pl, err := mapper.Map(prob)
+		if err != nil {
+			solveErr = err
+			return
+		}
+		lat, bw := prob.CostParts(pl)
+		elapsed := time.Since(t0)
+		s.metrics.SolveFinished(elapsed.Seconds())
+		res = &MapResult{
+			SnapshotVersion: snap.Version,
+			Algorithm:       mapper.Name(),
+			Cost:            (lat + bw).Float(),
+			LatencyCost:     lat.Float(),
+			BandwidthCost:   bw.Float(),
+			Placement:       pl,
+			Digest:          placementDigest(pl),
+			SolveMillis:     float64(elapsed.Microseconds()) / 1e3,
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, solveErr
+}
+
+// graphFor memoizes workload profiling. Concurrent first requests for
+// the same key profile once thanks to the singleflight layer above; the
+// plain mutex here only guards the map.
+func (s *Server) graphFor(workload string, procs, iters int) (*comm.Graph, error) {
+	key := fmt.Sprintf("%s/%d/%d", workload, procs, iters)
+	s.graphMu.Lock()
+	g, ok := s.graphs[key]
+	s.graphMu.Unlock()
+	if ok {
+		return g, nil
+	}
+	app, err := apps.ByName(workload)
+	if err != nil {
+		return nil, err
+	}
+	g, err = apps.Graph(app, procs, iters)
+	if err != nil {
+		return nil, err
+	}
+	s.graphMu.Lock()
+	s.graphs[key] = g
+	s.graphMu.Unlock()
+	return g, nil
+}
+
+// snapshotView is the JSON shape of GET /v1/snapshot and /healthz's
+// snapshot block.
+type snapshotView struct {
+	Version   uint64   `json:"version"`
+	Source    string   `json:"source"`
+	Sites     int      `json:"sites"`
+	SiteNames []string `json:"site_names,omitempty"`
+	Capacity  []int    `json:"capacity"`
+	Degraded  [][2]int `json:"degraded_pairs,omitempty"`
+}
+
+func viewOf(snap *Snapshot) snapshotView {
+	return snapshotView{
+		Version:   snap.Version,
+		Source:    snap.Source,
+		Sites:     snap.M(),
+		SiteNames: snap.SiteNames,
+		Capacity:  snap.Capacity,
+		Degraded:  snap.Degraded,
+	}
+}
+
+func (s *Server) handleSnapshotGet(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, viewOf(s.store.Current()))
+}
+
+// SnapshotUpdate is the body of POST /admin/snapshot. Exactly one of
+// (LT+BT) or FaultReport must be set: fresh matrices replace the model
+// wholesale (a calibration landing), while a fault report derives a
+// degraded model from the current snapshot (WANify-style runtime
+// re-gauging feeding placement).
+type SnapshotUpdate struct {
+	Source      string         `json:"source,omitempty"`
+	LT          [][]float64    `json:"lt,omitempty"`
+	BT          [][]float64    `json:"bt,omitempty"`
+	FaultReport *faults.Report `json:"fault_report,omitempty"`
+}
+
+func (s *Server) handleSnapshotPost(w http.ResponseWriter, r *http.Request) {
+	var upd SnapshotUpdate
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&upd); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding snapshot update: %w", err))
+		return
+	}
+	cur := s.store.Current()
+	var next *Snapshot
+	switch {
+	case upd.FaultReport != nil && (upd.LT != nil || upd.BT != nil):
+		writeError(w, http.StatusBadRequest, fmt.Errorf("matrices and fault_report are mutually exclusive"))
+		return
+	case upd.FaultReport != nil:
+		next = cur.WithFaultReport(upd.FaultReport)
+	case upd.LT != nil && upd.BT != nil:
+		lt, err := mat.From(upd.LT)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("lt: %w", err))
+			return
+		}
+		bt, err := mat.From(upd.BT)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bt: %w", err))
+			return
+		}
+		clone := *cur
+		clone.Version = 0
+		clone.LT, clone.BT = lt, bt
+		clone.Degraded = nil
+		clone.Source = "admin"
+		if upd.Source != "" {
+			clone.Source = upd.Source
+		}
+		next = &clone
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("snapshot update needs lt+bt matrices or a fault_report"))
+		return
+	}
+	version, err := s.store.Publish(next)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.metrics.RecordSnapshot()
+	s.logf("snapshot v%d published (%s)", version, next.Source)
+	writeJSON(w, http.StatusOK, viewOf(next))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	snap := s.store.Current()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.started).Seconds(),
+		"snapshot":       viewOf(snap),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.pool.QueueDepth(), s.cache.len()))
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v) // the response is already committed; a write error means a gone client
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}

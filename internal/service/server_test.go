@@ -1,0 +1,482 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"geoprocmap/internal/faults"
+)
+
+// newTestServer builds a service over the paper's 4-site cloud with
+// 16 nodes per site.
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	st, err := NewStore(testSnapshot(t, 64, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Store = st
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// postMap sends a MapRequest and decodes the response body into out.
+func postMap(t *testing.T, h http.Handler, req MapRequest, wantStatus int, out any) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/map", bytes.NewReader(body)))
+	if rec.Code != wantStatus {
+		t.Fatalf("status = %d, want %d (body %s)", rec.Code, wantStatus, rec.Body.String())
+	}
+	if out != nil {
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			t.Fatalf("decoding response: %v (body %s)", err, rec.Body.String())
+		}
+	}
+}
+
+func TestMapSolveAndCacheHit(t *testing.T) {
+	srv := newTestServer(t, Config{})
+	h := srv.Handler()
+	req := MapRequest{Workload: "LU", Procs: 64, Seed: 1}
+
+	var first MapResponse
+	postMap(t, h, req, http.StatusOK, &first)
+	if first.Cached {
+		t.Error("first request reported cached")
+	}
+	if first.SnapshotVersion != 1 {
+		t.Errorf("snapshot version = %d, want 1", first.SnapshotVersion)
+	}
+	if len(first.Placement) != 64 || first.Digest == "" || first.Cost <= 0 {
+		t.Fatalf("implausible result: %d procs, digest %q, cost %g", len(first.Placement), first.Digest, first.Cost)
+	}
+	if first.Algorithm != "Geo-distributed" {
+		t.Errorf("algorithm = %q", first.Algorithm)
+	}
+
+	var second MapResponse
+	postMap(t, h, req, http.StatusOK, &second)
+	if !second.Cached {
+		t.Error("identical request missed the cache")
+	}
+	if second.Digest != first.Digest || second.SnapshotVersion != first.SnapshotVersion {
+		t.Error("cached result differs from the original")
+	}
+
+	view := srv.metrics.Snapshot(0, 0)
+	if view.CacheHits != 1 || view.Solves != 1 || view.Requests != 2 {
+		t.Errorf("metrics = %+v, want 1 hit / 1 solve / 2 requests", view)
+	}
+}
+
+func TestMapDeterministicAcrossServers(t *testing.T) {
+	req := MapRequest{Workload: "LU", Procs: 64, Seed: 7, Kappa: 3}
+	digests := make([]string, 2)
+	for i := range digests {
+		srv := newTestServer(t, Config{})
+		var resp MapResponse
+		postMap(t, srv.Handler(), req, http.StatusOK, &resp)
+		digests[i] = resp.Digest
+	}
+	if digests[0] != digests[1] {
+		t.Errorf("same request on fresh servers produced %s vs %s", digests[0], digests[1])
+	}
+}
+
+func TestMapConstraintsAndExplicitEdges(t *testing.T) {
+	srv := newTestServer(t, Config{})
+	h := srv.Handler()
+	// Pin process 0 to site 2 and restrict process 1 to sites {1, 2}.
+	req := MapRequest{
+		Workload:   "LU",
+		Procs:      16,
+		Seed:       1,
+		Constraint: append([]int{2}, make([]int, 15)...),
+		Allowed:    [][]int{nil, {1, 2}},
+	}
+	for i := 1; i < 16; i++ {
+		req.Constraint[i] = -1
+	}
+	req.Allowed = append(req.Allowed, make([][]int, 14)...)
+	var resp MapResponse
+	postMap(t, h, req, http.StatusOK, &resp)
+	if resp.Placement[0] != 2 {
+		t.Errorf("pinned process placed at %d, want 2", resp.Placement[0])
+	}
+	if s := resp.Placement[1]; s != 1 && s != 2 {
+		t.Errorf("restricted process placed at %d, want 1 or 2", s)
+	}
+
+	// Explicit edge list instead of a preset.
+	edge := MapRequest{
+		Procs: 8,
+		Seed:  1,
+		Edges: []Edge{{Src: 0, Dst: 1, Volume: 1e6, Msgs: 10}, {Src: 2, Dst: 3, Volume: 5e5, Msgs: 4}},
+	}
+	var eresp MapResponse
+	postMap(t, h, edge, http.StatusOK, &eresp)
+	if len(eresp.Placement) != 8 {
+		t.Errorf("edge-list placement has %d entries", len(eresp.Placement))
+	}
+	// Edge order must not affect the fingerprint: reversed edges hit.
+	edge.Edges = []Edge{edge.Edges[1], edge.Edges[0]}
+	var ecached MapResponse
+	postMap(t, h, edge, http.StatusOK, &ecached)
+	if !ecached.Cached {
+		t.Error("edge order changed the fingerprint")
+	}
+}
+
+func TestMapRejectsBadRequests(t *testing.T) {
+	srv := newTestServer(t, Config{MaxProcs: 128})
+	h := srv.Handler()
+	cases := []MapRequest{
+		{},                                     // no pattern at all
+		{Workload: "LU"},                       // no procs
+		{Workload: "nope", Procs: 8},           // unknown workload
+		{Workload: "LU", Procs: 8, Edges: []Edge{{Src: 0, Dst: 1}}}, // both
+		{Workload: "LU", Procs: 4096},          // over MaxProcs
+		{Workload: "LU", Procs: 8, Algorithm: "annealing"},
+		{Workload: "LU", Procs: 8, Constraint: []int{1}},      // wrong length
+		{Workload: "LU", Procs: 8, DeadlineMillis: -5},        // negative deadline
+		{Procs: 4, Edges: []Edge{{Src: 0, Dst: 9}}},           // edge out of range
+		{Procs: 4, Edges: []Edge{{Src: 0, Dst: 1, Volume: -1}}}, // negative traffic
+	}
+	for i, req := range cases {
+		var e errorResponse
+		postMap(t, h, req, http.StatusBadRequest, &e)
+		if e.Error == "" {
+			t.Errorf("case %d returned no error message", i)
+		}
+	}
+	// A structurally fine request that is infeasible against the
+	// snapshot (more processes than total capacity) fails problem
+	// validation, not request validation.
+	var e errorResponse
+	postMap(t, h, MapRequest{Workload: "LU", Procs: 100, Seed: 1}, http.StatusUnprocessableEntity, &e)
+	if e.Error == "" {
+		t.Error("infeasible request returned no error message")
+	}
+}
+
+func TestMapDeadlineExceeded(t *testing.T) {
+	srv := newTestServer(t, Config{Workers: 1})
+	block := make(chan struct{})
+	var once sync.Once
+	srv.solveHook = func() { <-block }
+	defer once.Do(func() { close(block) })
+	h := srv.Handler()
+
+	var e errorResponse
+	postMap(t, h, MapRequest{Workload: "LU", Procs: 16, Seed: 1, DeadlineMillis: 30}, http.StatusGatewayTimeout, &e)
+	if e.Error == "" {
+		t.Error("timeout returned no error message")
+	}
+	once.Do(func() { close(block) })
+	view := srv.metrics.Snapshot(0, 0)
+	if view.Timeouts != 1 {
+		t.Errorf("timeouts = %d, want 1", view.Timeouts)
+	}
+}
+
+func TestMapQueueFullSheds(t *testing.T) {
+	srv := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	entered := make(chan struct{}, 8)
+	release := make(chan struct{})
+	srv.solveHook = func() {
+		entered <- struct{}{}
+		<-release
+	}
+	h := srv.Handler()
+
+	post := func(seed int64) chan int {
+		ch := make(chan int, 1)
+		go func() {
+			body, _ := json.Marshal(MapRequest{Workload: "LU", Procs: 16, Seed: seed})
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/map", bytes.NewReader(body)))
+			ch <- rec.Code
+		}()
+		return ch
+	}
+	c1 := post(1)
+	<-entered // the single worker is now parked inside request 1's solve
+	c2 := post(2)
+	// Request 2 queues behind the busy worker; the slot cannot drain
+	// until release closes, so waiting on QueueDepth is deterministic.
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.pool.QueueDepth() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("second request never occupied the queue slot")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Worker and queue both occupied: a third distinct request is shed
+	// immediately with 503.
+	body, _ := json.Marshal(MapRequest{Workload: "LU", Procs: 16, Seed: 3})
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/map", bytes.NewReader(body)))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("overloaded server answered %d, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("503 carried no Retry-After header")
+	}
+	close(release)
+	if s := <-c1; s != http.StatusOK {
+		t.Errorf("first request status %d", s)
+	}
+	if s := <-c2; s != http.StatusOK {
+		t.Errorf("second request status %d", s)
+	}
+	if view := srv.metrics.Snapshot(0, 0); view.Rejected != 1 {
+		t.Errorf("rejected = %d, want 1", view.Rejected)
+	}
+}
+
+func TestSnapshotSwapChangesFingerprint(t *testing.T) {
+	srv := newTestServer(t, Config{})
+	h := srv.Handler()
+	// 16 processes over 64 slots: the mapper has room to steer around a
+	// dead site (with procs == capacity it would have no choice).
+	req := MapRequest{Workload: "LU", Procs: 16, Seed: 1}
+	var v1 MapResponse
+	postMap(t, h, req, http.StatusOK, &v1)
+
+	// Publish a degraded snapshot through the admin endpoint.
+	upd := SnapshotUpdate{FaultReport: &faults.Report{Schedule: "drill", DeadSites: []int{3}}}
+	body, _ := json.Marshal(upd)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/admin/snapshot", bytes.NewReader(body)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("admin snapshot status %d: %s", rec.Code, rec.Body.String())
+	}
+	var sv snapshotView
+	if err := json.Unmarshal(rec.Body.Bytes(), &sv); err != nil {
+		t.Fatal(err)
+	}
+	if sv.Version != 2 || sv.Source != "fault-report" {
+		t.Errorf("published view = %+v", sv)
+	}
+
+	// The same request now misses the cache and resolves against v2,
+	// steering off the dead site.
+	var v2 MapResponse
+	postMap(t, h, req, http.StatusOK, &v2)
+	if v2.Cached {
+		t.Error("request hit stale cache across snapshot swap")
+	}
+	if v2.SnapshotVersion != 2 {
+		t.Errorf("snapshot version = %d, want 2", v2.SnapshotVersion)
+	}
+	for i, s := range v2.Placement {
+		if s == 3 {
+			t.Errorf("process %d placed on dead site 3", i)
+			break
+		}
+	}
+	// The old result is still served for old-version fingerprints only;
+	// re-requesting naturally uses the current version, so the digest
+	// may differ.
+	if v1.SnapshotVersion != 1 {
+		t.Errorf("first response version mutated to %d", v1.SnapshotVersion)
+	}
+}
+
+func TestAdminSnapshotMatrices(t *testing.T) {
+	srv := newTestServer(t, Config{})
+	h := srv.Handler()
+	m := srv.store.Current().M()
+	lt := make([][]float64, m)
+	bt := make([][]float64, m)
+	for k := range lt {
+		lt[k] = make([]float64, m)
+		bt[k] = make([]float64, m)
+		for l := range lt[k] {
+			lt[k][l] = 0.01
+			bt[k][l] = 1e7
+		}
+	}
+	body, _ := json.Marshal(SnapshotUpdate{Source: "recalibration", LT: lt, BT: bt})
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/admin/snapshot", bytes.NewReader(body)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	snap := srv.store.Current()
+	if snap.Version != 2 || snap.Source != "recalibration" || snap.LT.At(0, 1) != 0.01 {
+		t.Errorf("snapshot not replaced: v%d %q LT(0,1)=%g", snap.Version, snap.Source, snap.LT.At(0, 1))
+	}
+
+	// Bad updates: mismatched size, both-forms, neither.
+	for i, upd := range []SnapshotUpdate{
+		{LT: lt[:1], BT: bt[:1]},
+		{LT: lt, BT: bt, FaultReport: &faults.Report{}},
+		{},
+	} {
+		body, _ := json.Marshal(upd)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("POST", "/admin/snapshot", bytes.NewReader(body)))
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("bad update %d accepted with %d", i, rec.Code)
+		}
+	}
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	srv := newTestServer(t, Config{})
+	h := srv.Handler()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz status %d", rec.Code)
+	}
+	var health struct {
+		Status   string       `json:"status"`
+		Snapshot snapshotView `json:"snapshot"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || health.Snapshot.Version != 1 || health.Snapshot.Sites != 4 {
+		t.Errorf("health = %+v", health)
+	}
+
+	postMap(t, h, MapRequest{Workload: "LU", Procs: 16, Seed: 1}, http.StatusOK, nil)
+	postMap(t, h, MapRequest{Workload: "LU", Procs: 16, Seed: 1}, http.StatusOK, nil)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	var view View
+	if err := json.Unmarshal(rec.Body.Bytes(), &view); err != nil {
+		t.Fatal(err)
+	}
+	if view.Requests != 2 || view.CacheHits != 1 || view.Solves != 1 {
+		t.Errorf("metrics view = %+v", view)
+	}
+	if view.RequestLatency.Count != 2 || view.SolveLatency.Count != 1 {
+		t.Errorf("latency windows = %+v / %+v", view.RequestLatency, view.SolveLatency)
+	}
+	if view.HitRate != 0.5 {
+		t.Errorf("hit rate = %g, want 0.5", view.HitRate)
+	}
+}
+
+// TestDrainOnShutdown is the SIGTERM-drain test the acceptance criteria
+// name: an in-flight request admitted before shutdown completes with
+// 200 while the listener refuses new work, and the pool drains.
+func TestDrainOnShutdown(t *testing.T) {
+	srv := newTestServer(t, Config{Workers: 1})
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	srv.solveHook = func() {
+		once.Do(func() { close(entered) })
+		<-release
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	// Fire a slow solve and wait until it is inside the worker.
+	reqDone := make(chan int, 1)
+	go func() {
+		body, _ := json.Marshal(MapRequest{Workload: "LU", Procs: 16, Seed: 1})
+		resp, err := http.Post("http://"+ln.Addr().String()+"/v1/map", "application/json", bytes.NewReader(body))
+		if err != nil {
+			reqDone <- -1
+			return
+		}
+		defer resp.Body.Close()
+		reqDone <- resp.StatusCode
+	}()
+	<-entered
+
+	// Begin graceful shutdown while the request is in flight, then let
+	// the solve finish.
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdownDone <- hs.Shutdown(ctx)
+	}()
+	time.Sleep(20 * time.Millisecond) // let Shutdown close the listener
+	close(release)
+
+	if status := <-reqDone; status != http.StatusOK {
+		t.Errorf("in-flight request finished with %d during drain, want 200", status)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Errorf("graceful shutdown failed: %v", err)
+	}
+	if err := <-serveErr; err != http.ErrServerClosed {
+		t.Errorf("Serve returned %v, want ErrServerClosed", err)
+	}
+	// After the listener is gone the pool drains without deadlock.
+	done := make(chan struct{})
+	go func() { srv.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("pool failed to drain after shutdown")
+	}
+}
+
+// TestServerConcurrentMixedTraffic hammers one server with cached,
+// novel, and admin traffic at once; meaningful under -race.
+func TestServerConcurrentMixedTraffic(t *testing.T) {
+	srv := newTestServer(t, Config{Workers: 4, QueueDepth: 64, CacheSize: 64})
+	h := srv.Handler()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				switch {
+				case g == 0 && i%10 == 0:
+					// Occasional snapshot publications mid-traffic.
+					upd := SnapshotUpdate{FaultReport: &faults.Report{Schedule: fmt.Sprintf("s%d", i), DegradedPairs: [][2]int{{0, 1}}}}
+					body, _ := json.Marshal(upd)
+					rec := httptest.NewRecorder()
+					h.ServeHTTP(rec, httptest.NewRequest("POST", "/admin/snapshot", bytes.NewReader(body)))
+					if rec.Code != http.StatusOK {
+						t.Errorf("admin update failed: %d", rec.Code)
+						return
+					}
+				default:
+					req := MapRequest{Workload: "LU", Procs: 16, Seed: int64(i % 3)}
+					body, _ := json.Marshal(req)
+					rec := httptest.NewRecorder()
+					h.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/map", bytes.NewReader(body)))
+					if rec.Code != http.StatusOK && rec.Code != http.StatusServiceUnavailable {
+						t.Errorf("map status %d: %s", rec.Code, rec.Body.String())
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

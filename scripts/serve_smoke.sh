@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# serve-smoke: end-to-end gate for the mapping service. Starts geomapd on
+# an ephemeral port, replays the same seeded geoload mix twice, and
+# requires (1) byte-identical placement digests across the two runs —
+# the determinism contract: same requests + same snapshot must produce
+# the same placements whether they are solved or served from cache —
+# (2) a fully cache-served second run, and (3) a clean drain on SIGTERM.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+tmp=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+    [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp" ./cmd/geomapd ./cmd/geoload
+
+"$tmp/geomapd" -addr 127.0.0.1:0 -addr-file "$tmp/addr" 2>"$tmp/daemon.log" &
+daemon_pid=$!
+
+for _ in $(seq 1 100); do
+    [ -s "$tmp/addr" ] && break
+    sleep 0.1
+done
+if [ ! -s "$tmp/addr" ]; then
+    echo "serve-smoke: geomapd never wrote its address; daemon log:" >&2
+    cat "$tmp/daemon.log" >&2
+    exit 1
+fi
+addr=$(cat "$tmp/addr")
+
+# Run 1 solves the novel requests; run 2 must answer the identical
+# stream entirely from the cache.
+"$tmp/geoload" -url "http://$addr" -n 200 -c 8 -seed 7 | tee "$tmp/run1"
+"$tmp/geoload" -url "http://$addr" -n 200 -c 8 -seed 7 | tee "$tmp/run2"
+
+d1=$(grep 'placement digest' "$tmp/run1")
+d2=$(grep 'placement digest' "$tmp/run2")
+if [ "$d1" != "$d2" ]; then
+    echo "serve-smoke: placement digests differ between identical seeded runs" >&2
+    echo "  run1: $d1" >&2
+    echo "  run2: $d2" >&2
+    exit 1
+fi
+
+if ! grep -q 'cached 200' "$tmp/run2"; then
+    echo "serve-smoke: warm run was not fully cache-served:" >&2
+    cat "$tmp/run2" >&2
+    exit 1
+fi
+
+# Graceful drain: SIGTERM must let the daemon exit zero by itself.
+kill -TERM "$daemon_pid"
+if ! wait "$daemon_pid"; then
+    echo "serve-smoke: geomapd exited non-zero on SIGTERM; daemon log:" >&2
+    cat "$tmp/daemon.log" >&2
+    exit 1
+fi
+daemon_pid=""
+
+grep 'drained' "$tmp/daemon.log" || true
+echo "serve-smoke: ok"
