@@ -22,6 +22,7 @@ type Pool struct {
 type job struct {
 	ctx  context.Context
 	run  func()
+	err  error // set before done closes when the worker skipped run
 	done chan struct{}
 }
 
@@ -54,8 +55,13 @@ func (p *Pool) worker() {
 	defer p.wg.Done()
 	for j := range p.queue {
 		// A job whose deadline already passed is not worth starting;
-		// its submitter stopped waiting at ctx.Done.
-		if j.ctx.Err() == nil {
+		// its submitter stopped waiting at ctx.Done. The error is
+		// recorded on the job because Submit's select may observe done
+		// and ctx.Done simultaneously ready — done alone must not read
+		// as "executed".
+		if err := j.ctx.Err(); err != nil {
+			j.err = err
+		} else {
 			j.run()
 		}
 		close(j.done)
@@ -65,8 +71,8 @@ func (p *Pool) worker() {
 // Submit enqueues run and waits until it has been executed or ctx
 // expires. When ctx expires first, Submit returns the context error; if
 // the job has not started yet it is skipped entirely when a worker
-// reaches it (the closure never runs). The job function must capture its
-// own result delivery.
+// reaches it (the closure never runs). A nil return guarantees run was
+// executed. The job function must capture its own result delivery.
 func (p *Pool) Submit(ctx context.Context, run func()) error {
 	p.mu.Lock()
 	if p.closed {
@@ -83,7 +89,7 @@ func (p *Pool) Submit(ctx context.Context, run func()) error {
 	}
 	select {
 	case <-j.done:
-		return nil
+		return j.err
 	case <-ctx.Done():
 		return ctx.Err()
 	}

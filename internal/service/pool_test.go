@@ -118,6 +118,36 @@ func TestPoolCloseDrainsQueuedJobs(t *testing.T) {
 	p.Close() // idempotent
 }
 
+// TestPoolSkippedJobNeverReturnsNil recreates the race where a queued
+// job's context expires just as a worker reaches it: both j.done and
+// ctx.Done() become ready and Submit's select picks either. Whichever
+// branch wins, a job that never executed must not report success.
+func TestPoolSkippedJobNeverReturnsNil(t *testing.T) {
+	for i := 0; i < 200; i++ {
+		p := NewPool(1, 4)
+		release := make(chan struct{})
+		started := make(chan struct{})
+		go func() {
+			_ = p.Submit(context.Background(), func() { close(started); <-release })
+		}()
+		<-started
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Bool
+		errCh := make(chan error, 1)
+		go func() {
+			errCh <- p.Submit(ctx, func() { ran.Store(true) })
+		}()
+		// Cancel and unblock the worker together so the skip and the
+		// caller's ctx.Done race.
+		cancel()
+		close(release)
+		if err := <-errCh; err == nil && !ran.Load() {
+			t.Fatal("Submit returned nil for a job that never ran")
+		}
+		p.Close()
+	}
+}
+
 // TestPoolStress floods a small pool from many goroutines with mixed
 // deadlines; meaningful under -race.
 func TestPoolStress(t *testing.T) {

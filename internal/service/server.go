@@ -225,6 +225,11 @@ func (s *Server) solve(ctx context.Context, req *MapRequest, snap *Snapshot) (*M
 	if err != nil {
 		return nil, err
 	}
+	if solveErr == nil && res == nil {
+		// Belt and braces: a nil result with no error would be cached
+		// and dereferenced by every later hit on this fingerprint.
+		return nil, fmt.Errorf("service: solve produced no result")
+	}
 	return res, solveErr
 }
 
@@ -282,8 +287,9 @@ func (s *Server) handleSnapshotGet(w http.ResponseWriter, r *http.Request) {
 // SnapshotUpdate is the body of POST /admin/snapshot. Exactly one of
 // (LT+BT) or FaultReport must be set: fresh matrices replace the model
 // wholesale (a calibration landing), while a fault report derives a
-// degraded model from the current snapshot (WANify-style runtime
-// re-gauging feeding placement).
+// degraded model from the last measured snapshot (WANify-style runtime
+// re-gauging feeding placement). Each report replaces the previous
+// fault overlay rather than stacking on it.
 type SnapshotUpdate struct {
 	Source      string         `json:"source,omitempty"`
 	LT          [][]float64    `json:"lt,omitempty"`
@@ -306,7 +312,10 @@ func (s *Server) handleSnapshotPost(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("matrices and fault_report are mutually exclusive"))
 		return
 	case upd.FaultReport != nil:
-		next = cur.WithFaultReport(upd.FaultReport)
+		// Derive from the last measured snapshot, not cur: cur may
+		// itself be fault-degraded, and stacking reports would compound
+		// penalties on every re-gauge.
+		next = s.store.Base().WithFaultReport(upd.FaultReport)
 	case upd.LT != nil && upd.BT != nil:
 		lt, err := mat.From(upd.LT)
 		if err != nil {
@@ -322,6 +331,7 @@ func (s *Server) handleSnapshotPost(w http.ResponseWriter, r *http.Request) {
 		clone.Version = 0
 		clone.LT, clone.BT = lt, bt
 		clone.Degraded = nil
+		clone.derived = false // fresh matrices are a measured model
 		clone.Source = "admin"
 		if upd.Source != "" {
 			clone.Source = upd.Source

@@ -300,6 +300,34 @@ func TestSnapshotSwapChangesFingerprint(t *testing.T) {
 	}
 }
 
+// TestRepeatedFaultReportsDoNotCompound posts the same fault report
+// several times — the WANify-style periodic re-gauge — and checks the
+// served model stays at one application of the penalty, because each
+// report derives from the last measured snapshot rather than the
+// already-degraded current one.
+func TestRepeatedFaultReportsDoNotCompound(t *testing.T) {
+	srv := newTestServer(t, Config{})
+	h := srv.Handler()
+	measured := srv.store.Current().LT.At(0, 1)
+	body, _ := json.Marshal(SnapshotUpdate{FaultReport: &faults.Report{
+		Schedule:      "re-gauge",
+		DegradedPairs: [][2]int{{0, 1}},
+	}})
+	for i := 0; i < 3; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("POST", "/admin/snapshot", bytes.NewReader(body)))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("report %d status %d: %s", i+1, rec.Code, rec.Body.String())
+		}
+		if got, want := srv.store.Current().LT.At(0, 1), measured*DegradeFactor; got != want {
+			t.Fatalf("after report %d, LT(0,1) = %g, want %g (penalty compounded)", i+1, got, want)
+		}
+	}
+	if got := srv.store.Current().Version; got != 4 {
+		t.Errorf("version = %d, want 4 (each report still publishes)", got)
+	}
+}
+
 func TestAdminSnapshotMatrices(t *testing.T) {
 	srv := newTestServer(t, Config{})
 	h := srv.Handler()

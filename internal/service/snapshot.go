@@ -58,6 +58,12 @@ type Snapshot struct {
 	// Degraded lists directed site pairs whose estimates are known to be
 	// unreliable (from calib.Result.Degraded or a faults.Report).
 	Degraded [][2]int
+
+	// derived marks snapshots produced by WithFaultReport: penalty
+	// overlays on a measured model. The Store never treats them as the
+	// base for later fault reports, so re-posting a report cannot
+	// compound penalties.
+	derived bool
 }
 
 // M returns the number of sites.
@@ -138,15 +144,19 @@ func SnapshotFromCalibration(c *netmodel.Cloud, res *calib.Result) (*Snapshot, e
 // scaled down and latency up by DegradeFactor, and every link touching a
 // dead site carries netmodel.DeadLinkPenalty, steering cost-driven
 // mappers away exactly as netmodel.FaultView does for simulations. The
-// receiver is not modified.
+// receiver is not modified; its Degraded list is replaced, not extended
+// — the report is the full current fault picture. Derive from a
+// measured snapshot (Store.Base), never from an earlier fault-report
+// snapshot, or penalties compound.
 func (s *Snapshot) WithFaultReport(rep *faults.Report) *Snapshot {
 	out := *s
 	out.Version = 0
 	out.Source = "fault-report"
+	out.derived = true
 	out.LT = s.LT.Clone()
 	out.BT = s.BT.Clone()
+	out.Degraded = nil
 	if rep.Empty() {
-		out.Degraded = nil
 		return &out
 	}
 	m := s.M()
@@ -197,6 +207,11 @@ type Store struct {
 	mu      sync.Mutex // serializes Publish
 	version uint64
 	cur     atomic.Pointer[Snapshot]
+	// base is the latest measured (non-derived) snapshot: ground truth,
+	// calibration, or admin matrices. Fault reports derive from it so
+	// periodic re-gauging re-applies penalties to measurements instead
+	// of stacking them on an already-penalized model.
+	base atomic.Pointer[Snapshot]
 }
 
 // NewStore creates a store and publishes the initial snapshot.
@@ -212,6 +227,17 @@ func NewStore(initial *Snapshot) (*Store, error) {
 // and safe to use for the whole lifetime of a request even if a newer
 // snapshot is published mid-solve.
 func (st *Store) Current() *Snapshot { return st.cur.Load() }
+
+// Base returns the latest published snapshot carrying measured or
+// administered matrices — the one fault reports should derive from. If
+// no measured snapshot has been published (the initial snapshot was
+// itself derived), it falls back to Current.
+func (st *Store) Base() *Snapshot {
+	if b := st.base.Load(); b != nil {
+		return b
+	}
+	return st.cur.Load()
+}
 
 // Publish validates snap, assigns it the next version, and makes it the
 // current snapshot. The snapshot must not be mutated afterwards. The new
@@ -232,5 +258,8 @@ func (st *Store) Publish(snap *Snapshot) (uint64, error) {
 	st.version++
 	snap.Version = st.version
 	st.cur.Store(snap)
+	if !snap.derived {
+		st.base.Store(snap)
+	}
 	return snap.Version, nil
 }

@@ -192,3 +192,61 @@ func TestWithFaultReport(t *testing.T) {
 		t.Error("empty report changed the matrices")
 	}
 }
+
+// TestWithFaultReportReplacesDegraded checks that a derived snapshot's
+// Degraded list is the report's fault picture alone — not an extension
+// of the receiver's list, and never sharing its backing array (two
+// concurrent derivations from one snapshot must not write into each
+// other or into the published receiver).
+func TestWithFaultReportReplacesDegraded(t *testing.T) {
+	base := testSnapshot(t, 16, 1)
+	base.Degraded = [][2]int{{2, 3}, {3, 2}}
+
+	a := base.WithFaultReport(&faults.Report{DegradedPairs: [][2]int{{0, 1}}})
+	b := base.WithFaultReport(&faults.Report{DegradedPairs: [][2]int{{1, 0}}})
+	if len(a.Degraded) != 1 || a.Degraded[0] != [2]int{0, 1} {
+		t.Errorf("a.Degraded = %v, want the report's pairs only", a.Degraded)
+	}
+	if len(b.Degraded) != 1 || b.Degraded[0] != [2]int{1, 0} {
+		t.Errorf("b.Degraded = %v, want the report's pairs only", b.Degraded)
+	}
+	if len(base.Degraded) != 2 || base.Degraded[0] != [2]int{2, 3} || base.Degraded[1] != [2]int{3, 2} {
+		t.Errorf("receiver's Degraded mutated: %v", base.Degraded)
+	}
+}
+
+// TestStoreBaseSkipsDerivedSnapshots checks the anti-compounding
+// contract: Base() keeps pointing at the last measured snapshot while
+// fault-report snapshots publish, so re-deriving the same report yields
+// the same penalties (×DegradeFactor, not ×DegradeFactor²).
+func TestStoreBaseSkipsDerivedSnapshots(t *testing.T) {
+	truth := testSnapshot(t, 16, 1)
+	want := truth.LT.At(0, 1) * DegradeFactor
+	st, err := NewStore(truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Base() != st.Current() {
+		t.Fatal("fresh store's base is not its current snapshot")
+	}
+	rep := &faults.Report{DegradedPairs: [][2]int{{0, 1}}}
+	for i := 0; i < 3; i++ {
+		if _, err := st.Publish(st.Base().WithFaultReport(rep)); err != nil {
+			t.Fatal(err)
+		}
+		if got := st.Current().LT.At(0, 1); got != want {
+			t.Fatalf("after report %d, LT(0,1) = %g, want %g (penalties compounded)", i+1, got, want)
+		}
+		if st.Base() != truth {
+			t.Fatalf("after report %d, base drifted off the measured snapshot", i+1)
+		}
+	}
+	// A measured publication (calibration/admin) becomes the new base.
+	measured := testSnapshot(t, 16, 2)
+	if _, err := st.Publish(measured); err != nil {
+		t.Fatal(err)
+	}
+	if st.Base() != measured {
+		t.Error("measured snapshot did not become the base")
+	}
+}
