@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race faults serve-smoke check
+.PHONY: all build vet lint test race faults serve-smoke bench-orders check
 
 all: check
 
@@ -21,10 +21,10 @@ test:
 	$(GO) test ./...
 
 # Race-detector pass over the packages that spawn goroutines (the virtual
-# MPI scheduler, the network simulator, and the mapping service's pool/
-# cache/snapshot-store).
+# MPI scheduler, the network simulator, the mapping service's pool/
+# cache/snapshot-store, and the core mapper's parallel order search).
 race:
-	$(GO) test -race ./internal/mpi/... ./internal/netsim/... ./internal/service/...
+	$(GO) test -race ./internal/mpi/... ./internal/netsim/... ./internal/service/... ./internal/core/...
 
 # Fault-injection smoke: replay LU through the FlakyWAN preset and run the
 # failure-aware remap path end to end (internal/faults + netsim faulty
@@ -37,5 +37,12 @@ faults:
 # digests, a fully cache-served warm run, and a clean SIGTERM drain.
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# Serial-vs-parallel order-search baseline: full-scale sweep (κ = 6..8,
+# N = 64/256) written to results/BENCH_orders.json. Speedup depends on
+# host core count, which the report records.
+bench-orders:
+	$(GO) run ./cmd/geobench -exp orders -out results -json
+	cp results/orders.json results/BENCH_orders.json
 
 check: build vet lint test race faults serve-smoke

@@ -13,6 +13,7 @@ package geoprocmap
 // next to its time cost.
 
 import (
+	"fmt"
 	"testing"
 
 	"geoprocmap/internal/apps"
@@ -263,6 +264,43 @@ func BenchmarkAblationOrderSearch(b *testing.B) {
 			}
 			b.ReportMetric(cost, "cost")
 		})
+	}
+}
+
+// BenchmarkOrderSearchParallel measures the parallel κ! group-order
+// search against the serial path on the same problems: κ = 6..8 over an
+// 8-region cloud at N = 64 and 256, serial (Workers=1) versus
+// Workers=GOMAXPROCS. The parallel reduction returns byte-identical
+// placements, so the sub-benchmarks differ only in wall-clock. The
+// recorded baseline lives in results/BENCH_orders.json (make bench-orders).
+func BenchmarkOrderSearchParallel(b *testing.B) {
+	regions := []string{"us-east-1", "us-west-1", "us-west-2", "eu-west-1",
+		"eu-central-1", "ap-southeast-1", "ap-southeast-2", "ap-northeast-1"}
+	for _, n := range []int{64, 256} {
+		cloud, err := netmodel.EvenCloud(netmodel.AmazonEC2, "m4.xlarge", regions, n/len(regions), netmodel.Options{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		inst, err := experiments.BuildInstance(cloud, apps.NewKMeans(), n, 1, 0.2, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, kappa := range []int{6, 7, 8} {
+			for _, workers := range []int{1, 0} { // 1 = serial, 0 = GOMAXPROCS
+				name := fmt.Sprintf("kappa=%d/n=%d/serial", kappa, n)
+				if workers != 1 {
+					name = fmt.Sprintf("kappa=%d/n=%d/parallel", kappa, n)
+				}
+				m := &core.GeoMapper{Kappa: kappa, Seed: 1, Workers: workers}
+				b.Run(name, func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						if _, err := m.Map(inst.Problem); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
 	}
 }
 

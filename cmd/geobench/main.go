@@ -26,7 +26,9 @@ func main() {
 		seed        = flag.Int64("seed", 1, "random seed for cloud jitter, calibration noise and constraint draws")
 		quick       = flag.Bool("quick", false, "reduced scales and sample counts (seconds instead of minutes)")
 		ratio       = flag.Float64("constraints", 0.2, "data-movement constraint ratio")
+		workers     = flag.Int("workers", 0, "geo mapper order-search goroutines (0 = GOMAXPROCS, 1 = serial)")
 		out         = flag.String("out", "", "directory to write per-experiment .txt and .csv files")
+		jsonOut     = flag.Bool("json", false, "also write per-experiment .json files (with -out)")
 		list        = flag.Bool("list", false, "list experiment ids and exit")
 		showVersion = flag.Bool("version", false, "print version and exit")
 	)
@@ -42,7 +44,7 @@ func main() {
 		}
 		return
 	}
-	cfg := experiments.Config{Seed: *seed, Quick: *quick, ConstraintRatio: *ratio}
+	cfg := experiments.Config{Seed: *seed, Quick: *quick, ConstraintRatio: *ratio, Workers: *workers}
 
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
@@ -65,6 +67,15 @@ func main() {
 			}
 			if err := os.WriteFile(filepath.Join(*out, id+".csv"), []byte(rep.CSV()), 0o644); err != nil {
 				fatal(err)
+			}
+			if *jsonOut {
+				doc, err := rep.JSON()
+				if err != nil {
+					fatal(err)
+				}
+				if err := os.WriteFile(filepath.Join(*out, id+".json"), []byte(doc), 0o644); err != nil {
+					fatal(err)
+				}
 			}
 			if chart, ok, err := experiments.ChartFor(rep); err != nil {
 				fatal(err)

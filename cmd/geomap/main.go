@@ -32,6 +32,7 @@ func main() {
 		instance = flag.String("instance", "m4.xlarge", "EC2 instance type")
 		algo     = flag.String("algo", "geo", "mapper: geo, greedy, mpipp, random, montecarlo")
 		kappa    = flag.Int("kappa", 4, "number of K-means site groups for the geo mapper")
+		workers  = flag.Int("workers", 0, "order-search goroutines for the geo mapper (0 = GOMAXPROCS, 1 = serial)")
 		ratio    = flag.Float64("constraints", 0.2, "data-movement constraint ratio")
 		seed     = flag.Int64("seed", 1, "random seed")
 		verbose  = flag.Bool("v", false, "print the full placement vector")
@@ -66,7 +67,7 @@ func main() {
 	var mapper core.Mapper
 	switch *algo {
 	case "geo":
-		mapper = &core.GeoMapper{Kappa: *kappa, Seed: *seed}
+		mapper = &core.GeoMapper{Kappa: *kappa, Seed: *seed, Workers: *workers}
 	case "greedy":
 		mapper = &baselines.Greedy{}
 	case "mpipp":

@@ -4,7 +4,10 @@
 // was solved against. Solves run on a bounded worker pool, identical
 // requests are deduplicated in flight and answered from an LRU result
 // cache, and operators feed fresh calibration matrices or fault reports
-// through POST /admin/snapshot without restarting the daemon.
+// through POST /admin/snapshot without restarting the daemon. Each solve
+// may itself parallelize the geo mapper's group-order search
+// (-solver-workers); the pool size × per-solve product is clamped to
+// GOMAXPROCS so the daemon never oversubscribes the machine.
 //
 // Usage:
 //
@@ -51,6 +54,7 @@ func main() {
 		days        = flag.Int("days", 1, "calibration days (with -calib)")
 		samples     = flag.Int("samples", 5, "calibration samples per day per pair (with -calib)")
 		workers     = flag.Int("workers", 4, "solver pool size")
+		solverWkrs  = flag.Int("solver-workers", 0, "order-search goroutines per solve (0 = derive from GOMAXPROCS/workers; pool×per-solve is clamped to GOMAXPROCS)")
 		queueDepth  = flag.Int("queue", 0, "pending-solve bound before shedding (default 4×workers)")
 		cacheSize   = flag.Int("cache", 1024, "result cache entries")
 		maxProcs    = flag.Int("max-procs", 4096, "largest accepted process count")
@@ -96,6 +100,7 @@ func main() {
 	srv, err := service.NewServer(service.Config{
 		Store:           store,
 		Workers:         *workers,
+		SolverWorkers:   *solverWkrs,
 		QueueDepth:      *queueDepth,
 		CacheSize:       *cacheSize,
 		MaxProcs:        *maxProcs,

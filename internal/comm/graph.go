@@ -186,6 +186,17 @@ func (g *Graph) neighbors(i int) []Edge {
 	return g.neighborCache[i]
 }
 
+// Prewarm builds the combined-direction adjacency cache for every process
+// so that subsequent Neighbors and Quantity calls are read-only. The lazy
+// rebuild in neighbors is not synchronized; callers that share a graph
+// across goroutines (the parallel κ! order search) must prewarm it first
+// and refrain from AddTraffic while readers are live.
+func (g *Graph) Prewarm() {
+	for i := 0; i < g.n; i++ {
+		g.neighbors(i)
+	}
+}
+
 // Quantity returns the total communication quantity of process i — the sum
 // of bytes it sends and receives. Algorithm 1 selects the "process with the
 // heaviest communication quantity" by this measure.

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"geoprocmap/internal/mat"
 	"geoprocmap/internal/stats"
@@ -48,6 +50,13 @@ type GeoMapper struct {
 	// so it trades overhead for solution quality, quantified by
 	// BenchmarkAblationRefinement.
 	RefinePasses int
+	// Workers is the number of goroutines evaluating group orders. The κ!
+	// orders are embarrassingly parallel (each evaluation owns its own
+	// heuristicState) and the reduction — minimum cost, ties broken by
+	// lowest lexicographic permutation rank — is deterministic, so the
+	// result is byte-identical for every worker count. Zero selects
+	// GOMAXPROCS; 1 runs the search serially on the calling goroutine.
+	Workers int
 }
 
 // MaxKappa bounds the group count so κ! stays tractable.
@@ -89,53 +98,233 @@ func (g *GeoMapper) Map(p *Problem) (Placement, error) {
 		}
 	}
 
-	h := newHeuristicState(p)
-	var best Placement
-	bestCost := units.Cost(math.Inf(1))
-	orders := 0
-	tryOrder := func(perm []int) bool {
-		ordered := make([][]int, len(perm))
-		for i, gi := range perm {
-			ordered[i] = groups[gi]
-		}
-		pl := h.fill(ordered)
-		if p.HasSiteSets() {
-			// Multi-site restrictions can strand processes the greedy
-			// packing could not fit; relocate via augmenting paths.
-			if err := RepairLeftovers(p, pl); err != nil {
-				orders++
-				return g.MaxOrders <= 0 || orders < g.MaxOrders
-			}
-		}
-		if c := p.Cost(pl); c < bestCost {
-			bestCost = c
-			best = pl.Clone()
-		}
-		orders++
-		return g.MaxOrders <= 0 || orders < g.MaxOrders
-	}
-	if g.SingleOrder {
-		perm := make([]int, len(groups))
-		for i := range perm {
-			perm[i] = i
-		}
-		tryOrder(perm)
-	} else {
-		stats.Permutations(len(groups), tryOrder)
-	}
-	if best == nil {
-		return nil, fmt.Errorf("core: no placement produced")
+	best, bestCost, err := g.searchOrders(p, groups)
+	if err != nil {
+		return nil, err
 	}
 	for pass := 0; pass < g.RefinePasses; pass++ {
 		if !refinePass(p, best, &bestCost) {
 			break
 		}
+		// refinePass maintains the cost incrementally; FP drift compounds
+		// across sweeps, so re-sync against the true objective before the
+		// next sweep's improvement comparisons (and before anything
+		// downstream trusts bestCost).
+		bestCost = p.Cost(best)
 	}
 	return best, nil
 }
 
+// repairPlacement relocates stranded processes of a site-set placement; a
+// package variable so the MaxOrders-starvation regression test can inject
+// repair failures (on validated problems the augmenting-path repair itself
+// cannot fail, but the budget accounting must not assume that).
+var repairPlacement = RepairLeftovers
+
+// searchOrders runs the κ! group-order search and returns the best
+// feasible placement with its cost. The search space is the lexicographic
+// rank order of group permutations; the winner is the minimum-cost
+// placement with ties broken by lowest rank, so every worker count —
+// including the serial path — selects the same order, byte for byte.
+func (g *GeoMapper) searchOrders(p *Problem, groups [][]int) (Placement, units.Cost, error) {
+	if g.SingleOrder {
+		perm := make([]int, len(groups))
+		for i := range perm {
+			perm[i] = i
+		}
+		res := newOrderSearch(p, groups, g.MaxOrders).run(perm, 0)
+		if res.best == nil {
+			return nil, 0, fmt.Errorf("core: no placement produced")
+		}
+		return res.best, res.bestCost, nil
+	}
+
+	total := stats.FactorialInt(len(groups))
+	workers := g.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > total {
+		workers = total
+	}
+	if workers == 1 {
+		// Serial path: one range covering the whole rank space, evaluated
+		// on the calling goroutine exactly as the pre-parallel code did.
+		res := newOrderSearch(p, groups, g.MaxOrders).runRange(0, total)
+		if res.best == nil {
+			return nil, 0, fmt.Errorf("core: no placement produced")
+		}
+		return res.best, res.bestCost, nil
+	}
+
+	// Split [0, κ!) into contiguous rank ranges, one per worker. Each
+	// worker owns a private heuristicState (the fill buffers are per-state,
+	// so nothing is shared beyond the read-only problem and groups). The
+	// comm graph's adjacency cache builds lazily on first use — force it
+	// now so the workers' Neighbors traversals are pure reads.
+	p.Comm.Prewarm()
+	results := make([]rangeResult, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			lo := w * total / workers
+			hi := (w + 1) * total / workers
+			results[w] = newOrderSearch(p, groups, g.MaxOrders).runRange(lo, hi)
+		}(w)
+	}
+	wg.Wait()
+
+	if g.MaxOrders > 0 {
+		return g.reduceCapped(p, groups, results)
+	}
+	// Deterministic reduction: minimum cost; on an exact cost tie the
+	// lowest rank wins, matching the serial loop's keep-first behavior.
+	bestIdx := -1
+	for w := range results {
+		r := &results[w]
+		if r.best == nil {
+			continue
+		}
+		if bestIdx < 0 || r.bestCost < results[bestIdx].bestCost ||
+			(r.bestCost == results[bestIdx].bestCost && r.bestRank < results[bestIdx].bestRank) { //geolint:ignore floatcmp exact tie-break: equal costs must fall through to the rank comparison or the winner would depend on worker scheduling
+			bestIdx = w
+		}
+	}
+	if bestIdx < 0 {
+		return nil, 0, fmt.Errorf("core: no placement produced")
+	}
+	return results[bestIdx].best, results[bestIdx].bestCost, nil
+}
+
+// reduceCapped merges per-range results under a MaxOrders budget. The
+// budget counts feasible orders in ascending rank order, so the counted
+// set is the global first-MaxOrders feasible ranks — each worker recorded
+// (rank, cost) for at most MaxOrders feasible orders of its own range,
+// which is guaranteed to cover that prefix. The winning order is then
+// re-evaluated for its placement: a worker's retained best placement may
+// belong to a rank beyond the global budget.
+func (g *GeoMapper) reduceCapped(p *Problem, groups [][]int, results []rangeResult) (Placement, units.Cost, error) {
+	counted := 0
+	bestRank := -1
+	bestCost := units.Cost(math.Inf(1))
+	for w := range results {
+		for _, fc := range results[w].feasible {
+			if counted == g.MaxOrders {
+				break
+			}
+			counted++
+			if fc.cost < bestCost {
+				bestCost = fc.cost
+				bestRank = fc.rank
+			}
+		}
+		if counted == g.MaxOrders {
+			break
+		}
+	}
+	if bestRank < 0 {
+		return nil, 0, fmt.Errorf("core: no placement produced")
+	}
+	for w := range results {
+		if results[w].best != nil && results[w].bestRank == bestRank {
+			return results[w].best, results[w].bestCost, nil
+		}
+	}
+	res := newOrderSearch(p, groups, 0).run(stats.PermutationUnrank(len(groups), bestRank), bestRank)
+	if res.best == nil {
+		// The winning rank was feasible when first evaluated; the search is
+		// deterministic, so it cannot become infeasible on re-evaluation.
+		return nil, 0, fmt.Errorf("core: order %d infeasible on re-evaluation", bestRank)
+	}
+	return res.best, res.bestCost, nil
+}
+
+// rankCost records one feasible order's objective for the capped reduction.
+type rankCost struct {
+	rank int
+	cost units.Cost
+}
+
+// rangeResult summarizes one contiguous rank range: the best feasible
+// placement found (nil when the range produced none) and, under a
+// MaxOrders budget, the first feasible (rank, cost) pairs.
+type rangeResult struct {
+	best     Placement
+	bestCost units.Cost
+	bestRank int
+	feasible []rankCost
+}
+
+// orderSearch evaluates group orders on one goroutine with a private
+// heuristicState.
+type orderSearch struct {
+	p       *Problem
+	groups  [][]int
+	cap     int // MaxOrders budget of feasible orders; 0 = unbounded
+	h       *heuristicState
+	ordered [][]int
+	res     rangeResult
+}
+
+func newOrderSearch(p *Problem, groups [][]int, maxOrders int) *orderSearch {
+	return &orderSearch{
+		p:       p,
+		groups:  groups,
+		cap:     maxOrders,
+		h:       newHeuristicState(p),
+		ordered: make([][]int, len(groups)),
+		res:     rangeResult{bestCost: units.Cost(math.Inf(1)), bestRank: -1},
+	}
+}
+
+// runRange evaluates every order with rank in [lo, hi), stopping early
+// once the budget of feasible orders is exhausted.
+func (s *orderSearch) runRange(lo, hi int) rangeResult {
+	stats.PermutationRange(len(s.groups), lo, hi, s.tryOrder)
+	return s.res
+}
+
+// run evaluates the single given order.
+func (s *orderSearch) run(perm []int, rank int) rangeResult {
+	s.tryOrder(rank, perm)
+	return s.res
+}
+
+// tryOrder is the per-order body of Algorithm 1's outer loop: greedy fill,
+// site-set repair, cost comparison. Orders whose repair fails are
+// infeasible and do not consume the MaxOrders budget — a constrained
+// problem with a small cap must not starve on infeasible orders while
+// uncounted later orders would succeed.
+func (s *orderSearch) tryOrder(rank int, perm []int) bool {
+	for i, gi := range perm {
+		s.ordered[i] = s.groups[gi]
+	}
+	pl := s.h.fill(s.ordered)
+	if s.p.HasSiteSets() {
+		// Multi-site restrictions can strand processes the greedy
+		// packing could not fit; relocate via augmenting paths.
+		if err := repairPlacement(s.p, pl); err != nil {
+			return true
+		}
+	}
+	c := s.p.Cost(pl)
+	if s.cap > 0 {
+		s.res.feasible = append(s.res.feasible, rankCost{rank: rank, cost: c})
+	}
+	if c < s.res.bestCost {
+		s.res.bestCost = c
+		s.res.bestRank = rank
+		s.res.best = append(s.res.best[:0], pl...)
+	}
+	return s.cap <= 0 || len(s.res.feasible) < s.cap
+}
+
 // refinePass applies one sweep of first-improvement pairwise exchanges of
 // unpinned, mutually-admissible processes, updating pl and cost in place.
+// The incremental cost drifts from the true objective as swaps accumulate;
+// callers running multiple passes must re-sync it via Problem.Cost.
 func refinePass(p *Problem, pl Placement, cost *units.Cost) bool {
 	n := p.N()
 	improved := false
@@ -151,7 +340,7 @@ func refinePass(p *Problem, pl Placement, cost *units.Cost) bool {
 				continue
 			}
 			delta := exchangeDelta(p, pl, a, b)
-			if delta < units.Cost(-1e-12) {
+			if delta < -refineTol(*cost) {
 				pl[a], pl[b] = pl[b], pl[a]
 				*cost += delta
 				improved = true
@@ -159,6 +348,20 @@ func refinePass(p *Problem, pl Placement, cost *units.Cost) bool {
 		}
 	}
 	return improved
+}
+
+// refineTol is the minimum improvement a refinement exchange must deliver,
+// relative to the current objective: an absolute threshold is vacuous
+// against costs orders of magnitude above 1 (every FP-noise "improvement"
+// passes, and the pass loop can churn without converging) and needlessly
+// strict near zero. The floor of 1 keeps the threshold meaningful for
+// near-zero objectives.
+func refineTol(c units.Cost) units.Cost {
+	m := math.Abs(c.Float())
+	if m < 1 {
+		m = 1
+	}
+	return units.Cost(m).Scale(1e-12)
 }
 
 // exchangeDelta is the cost change of swapping the sites of processes a
@@ -209,11 +412,12 @@ type heuristicState struct {
 	refLat   units.Seconds
 	refBW    units.BytesPerSec
 
-	selected []bool
-	affinity []units.Cost
-	avail    mat.IntVec
-	members  [][]int // processes currently placed per site
-	pl       Placement
+	selected  []bool
+	affinity  []units.Cost
+	avail     mat.IntVec
+	members   [][]int // processes currently placed per site
+	pl        Placement
+	groupDone []bool // scratch for fill's site-selection loop, len M
 }
 
 func newHeuristicState(p *Problem) *heuristicState {
@@ -224,11 +428,12 @@ func newHeuristicState(p *Problem) *heuristicState {
 		quantity: make([]units.Cost, n),
 		refLat:   refLat,
 		refBW:    refBW,
-		selected: make([]bool, n),
-		affinity: make([]units.Cost, n),
-		avail:    make(mat.IntVec, p.M()),
-		members:  make([][]int, p.M()),
-		pl:       make(Placement, n),
+		selected:  make([]bool, n),
+		affinity:  make([]units.Cost, n),
+		avail:     make(mat.IntVec, p.M()),
+		members:   make([][]int, p.M()),
+		pl:        make(Placement, n),
+		groupDone: make([]bool, p.M()),
 	}
 	for i := 0; i < n; i++ {
 		var q units.Cost
@@ -281,8 +486,13 @@ func (h *heuristicState) fill(orderedGroups [][]int) Placement {
 			break
 		}
 		// Each iteration picks the unselected site in the group with the
-		// most available nodes (line 10).
-		groupDone := make([]bool, len(group))
+		// most available nodes (line 10). The scratch buffer lives on the
+		// state: each worker runs thousands of orders through fill, which
+		// must not allocate per order.
+		groupDone := h.groupDone[:len(group)]
+		for i := range groupDone {
+			groupDone[i] = false
+		}
 		for j := 0; j < len(group); j++ {
 			site, bestAvail, bestIdx := -1, -1, -1
 			for idx, s := range group {

@@ -28,6 +28,10 @@ type HierarchicalGeoMapper struct {
 	// LeafSites is the largest site count solved flat (default 5, the κ
 	// bound the paper recommends).
 	LeafSites int
+	// Workers is the per-level order-search parallelism, forwarded to
+	// every flat GeoMapper the recursion instantiates (0 = GOMAXPROCS,
+	// 1 = serial).
+	Workers int
 }
 
 // Name implements Mapper.
@@ -57,7 +61,7 @@ func (h *HierarchicalGeoMapper) Map(p *Problem) (Placement, error) {
 
 func (h *HierarchicalGeoMapper) mapLevel(p *Problem, kappa, leaf int, seed int64) (Placement, error) {
 	if p.M() <= leaf {
-		flat := &GeoMapper{Kappa: min(kappa, p.M()), Seed: seed}
+		flat := &GeoMapper{Kappa: min(kappa, p.M()), Seed: seed, Workers: h.Workers}
 		return flat.Map(p)
 	}
 	groups, err := GroupSites(p.PC, kappa, seed)
@@ -68,7 +72,7 @@ func (h *HierarchicalGeoMapper) mapLevel(p *Problem, kappa, leaf int, seed int64
 		// Clustering failed to split (e.g. identical coordinates); fall
 		// back to the flat algorithm, whose grouped order search still
 		// works for any M.
-		flat := &GeoMapper{Kappa: kappa, Seed: seed}
+		flat := &GeoMapper{Kappa: kappa, Seed: seed, Workers: h.Workers}
 		return flat.Map(p)
 	}
 
@@ -76,7 +80,7 @@ func (h *HierarchicalGeoMapper) mapLevel(p *Problem, kappa, leaf int, seed int64
 	if err != nil {
 		return nil, err
 	}
-	flat := &GeoMapper{Kappa: min(kappa, len(groups)), Seed: seed}
+	flat := &GeoMapper{Kappa: min(kappa, len(groups)), Seed: seed, Workers: h.Workers}
 	groupOf, err := flat.Map(super)
 	if err != nil {
 		return nil, err
@@ -99,7 +103,7 @@ func (h *HierarchicalGeoMapper) mapLevel(p *Problem, kappa, leaf int, seed int64
 			// The group-level assignment can violate a within-group
 			// allowed-set Hall condition; retreat to the flat algorithm on
 			// the whole instance, which handles it via repair.
-			fallback := &GeoMapper{Kappa: kappa, Seed: seed}
+			fallback := &GeoMapper{Kappa: kappa, Seed: seed, Workers: h.Workers}
 			return fallback.Map(p)
 		}
 		subPl, err := h.mapLevel(sub, kappa, leaf, seed+int64(gi)+1)

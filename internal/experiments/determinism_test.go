@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"testing"
 
 	"geoprocmap/internal/apps"
@@ -21,7 +22,7 @@ func TestSeedDeterminism(t *testing.T) {
 		n    = 64
 		seed = 42
 	)
-	runOnce := func() (mapping string, costBits uint64) {
+	runOnce := func(workers int) (mapping string, costBits uint64) {
 		t.Helper()
 		cloud, err := PaperCloudForScale(n, seed)
 		if err != nil {
@@ -34,7 +35,7 @@ func TestSeedDeterminism(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		mapper := &core.GeoMapper{Kappa: 4, Seed: seed}
+		mapper := &core.GeoMapper{Kappa: 4, Seed: seed, Workers: workers}
 		pl, err := mapper.Map(inst.Problem)
 		if err != nil {
 			t.Fatal(err)
@@ -45,13 +46,26 @@ func TestSeedDeterminism(t *testing.T) {
 		return fmt.Sprintf("%v", pl), math.Float64bits(inst.CommCost(pl))
 	}
 
-	m1, c1 := runOnce()
-	m2, c2 := runOnce()
+	m1, c1 := runOnce(1)
+	m2, c2 := runOnce(1)
 	if m1 != m2 {
 		t.Errorf("same-seed mappings differ:\n run 1: %s\n run 2: %s", m1, m2)
 	}
 	if c1 != c2 {
 		t.Errorf("same-seed costs differ bitwise: %016x vs %016x", c1, c2)
+	}
+
+	// The parallel order search must be as deterministic as the serial
+	// one, and agree with it byte for byte (reduction ties break on the
+	// lowest permutation rank regardless of goroutine scheduling).
+	for _, workers := range []int{runtime.GOMAXPROCS(0), 3} {
+		mp, cp := runOnce(workers)
+		if mp != m1 {
+			t.Errorf("workers=%d mapping differs from serial:\n serial:   %s\n parallel: %s", workers, m1, mp)
+		}
+		if cp != c1 {
+			t.Errorf("workers=%d cost differs bitwise from serial: %016x vs %016x", workers, c1, cp)
+		}
 	}
 
 	// The baseline measurement (averaged random placements) must be as

@@ -26,7 +26,7 @@ func parsePct(t *testing.T, s string) float64 {
 func TestRegistryComplete(t *testing.T) {
 	ids := IDs()
 	want := []string{"table1", "table2", "table3", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-		"azure", "contention", "collectives", "multiconstraint", "headline", "manysites", "robustness"}
+		"azure", "contention", "collectives", "multiconstraint", "headline", "manysites", "robustness", "orders"}
 	if len(ids) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(ids), len(want))
 	}
@@ -111,7 +111,7 @@ func TestInstanceSimulateAndBaseline(t *testing.T) {
 	if base.CommSeconds <= 0 || base.ComputeSeconds <= 0 {
 		t.Errorf("baseline = %+v, want positive parts", base)
 	}
-	pl, dur, err := inst.MapAndTime(StandardMappers(2)[2]) // Geo
+	pl, dur, err := inst.MapAndTime(StandardMappers(2, 1)[2]) // Geo
 	if err != nil {
 		t.Fatal(err)
 	}

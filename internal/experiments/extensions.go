@@ -47,7 +47,7 @@ func ExtAzure(cfg Config) (*Report, error) {
 			if err != nil {
 				return nil, err
 			}
-			for i, m := range StandardMappers(seed) {
+			for i, m := range StandardMappers(seed, cfg.Workers) {
 				pl, _, err := inst.MapAndTime(m)
 				if err != nil {
 					return nil, err
@@ -86,7 +86,7 @@ func ExtContention(cfg Config) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		mappersUnder := []core.Mapper{&baselines.Greedy{}, &core.GeoMapper{Kappa: 4, Seed: cfg.Seed}}
+		mappersUnder := []core.Mapper{&baselines.Greedy{}, &core.GeoMapper{Kappa: 4, Seed: cfg.Seed, Workers: cfg.Workers}}
 		sums := make([][2]float64, len(mappersUnder))
 		for d := 0; d < cfg.Draws; d++ {
 			seed := cfg.Seed + int64(d)*1000
@@ -153,7 +153,7 @@ func ExtCollectives(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	pl, _, err := inst.MapAndTime(&core.GeoMapper{Kappa: 4, Seed: cfg.Seed})
+	pl, _, err := inst.MapAndTime(&core.GeoMapper{Kappa: 4, Seed: cfg.Seed, Workers: cfg.Workers})
 	if err != nil {
 		return nil, err
 	}
@@ -253,7 +253,7 @@ func ExtMultiConstraint(cfg Config) (*Report, error) {
 		// Exchange refinement isolates the constraint model's effect from
 		// the packing heuristic's slack: the relaxed problem's optimum can
 		// never be worse than the pinned one's.
-		gm := &core.GeoMapper{Kappa: 4, Seed: cfg.Seed, RefinePasses: 50}
+		gm := &core.GeoMapper{Kappa: 4, Seed: cfg.Seed, RefinePasses: 50, Workers: cfg.Workers}
 		pinPl, err := gm.Map(&pinned)
 		if err != nil {
 			return nil, err
@@ -303,7 +303,7 @@ func ExtHeadline(cfg Config) (*Report, error) {
 			if err != nil {
 				return nil, err
 			}
-			geoPl, _, err := inst.MapAndTime(&core.GeoMapper{Kappa: 4, Seed: seed})
+			geoPl, _, err := inst.MapAndTime(&core.GeoMapper{Kappa: 4, Seed: seed, Workers: cfg.Workers})
 			if err != nil {
 				return nil, err
 			}
@@ -351,8 +351,8 @@ func ExtManySites(cfg Config) (*Report, error) {
 		if err != nil {
 			return err
 		}
-		flat := &core.GeoMapper{Kappa: 4, Seed: cfg.Seed}
-		hier := &core.HierarchicalGeoMapper{Kappa: 4, Seed: cfg.Seed, LeafSites: 4}
+		flat := &core.GeoMapper{Kappa: 4, Seed: cfg.Seed, Workers: cfg.Workers}
+		hier := &core.HierarchicalGeoMapper{Kappa: 4, Seed: cfg.Seed, LeafSites: 4, Workers: cfg.Workers}
 		flatPl, flatDur, err := inst.MapAndTime(flat)
 		if err != nil {
 			return err

@@ -45,7 +45,7 @@ func Figure4(cfg Config) (*Report, error) {
 			base = 1e-9
 		}
 		row := []string{fmt.Sprintf("%d/%d", sc.sites, sc.procs)}
-		for _, m := range StandardMappers(cfg.Seed) {
+		for _, m := range StandardMappers(cfg.Seed, cfg.Workers) {
 			_, dur, err := inst.MapAndTime(m)
 			if err != nil {
 				return nil, err
@@ -75,7 +75,7 @@ func measureApp(inst *Instance, cfg Config, mode SimMode) (*appTimes, error) {
 		results:  map[string]SimResult{},
 		overhead: map[string]float64{},
 	}
-	for _, m := range StandardMappers(cfg.Seed) {
+	for _, m := range StandardMappers(cfg.Seed, cfg.Workers) {
 		pl, dur, err := inst.MapAndTime(m)
 		if err != nil {
 			return nil, err
@@ -127,7 +127,7 @@ func Figure6(cfg Config) (*Report, error) {
 			if err != nil {
 				return nil, err
 			}
-			for i, m := range StandardMappers(seed) {
+			for i, m := range StandardMappers(seed, cfg.Workers) {
 				pl, _, err := inst.MapAndTime(m)
 				if err != nil {
 					return nil, err
@@ -234,7 +234,7 @@ func Figure7(cfg Config) (*Report, error) {
 				if err != nil {
 					return nil, err
 				}
-				for i, m := range []core.Mapper{&baselines.Greedy{}, &core.GeoMapper{Kappa: 4, Seed: seed}} {
+				for i, m := range []core.Mapper{&baselines.Greedy{}, &core.GeoMapper{Kappa: 4, Seed: seed, Workers: cfg.Workers}} {
 					pl, _, err := inst.MapAndTime(m)
 					if err != nil {
 						return nil, err
@@ -285,7 +285,7 @@ func Figure8(cfg Config) (*Report, error) {
 				if err != nil {
 					return nil, err
 				}
-				geoPl, _, err := inst.MapAndTime(&core.GeoMapper{Kappa: 4, Seed: seed})
+				geoPl, _, err := inst.MapAndTime(&core.GeoMapper{Kappa: 4, Seed: seed, Workers: cfg.Workers})
 				if err != nil {
 					return nil, err
 				}
@@ -334,7 +334,7 @@ func Figure9(cfg Config) (*Report, error) {
 		}
 		cdf := stats.NewCDF(costs)
 		maxCost := stats.Max(costs)
-		for _, m := range StandardMappers(cfg.Seed) {
+		for _, m := range StandardMappers(cfg.Seed, cfg.Workers) {
 			pl, _, err := inst.MapAndTime(m)
 			if err != nil {
 				return nil, err
@@ -403,7 +403,7 @@ func Figure10(cfg Config) (*Report, error) {
 		for _, c := range curve {
 			row = append(row, fmt.Sprintf("%.3f", c/mean))
 		}
-		geoPl, _, err := inst.MapAndTime(&core.GeoMapper{Kappa: 4, Seed: cfg.Seed})
+		geoPl, _, err := inst.MapAndTime(&core.GeoMapper{Kappa: 4, Seed: cfg.Seed, Workers: cfg.Workers})
 		if err != nil {
 			return nil, err
 		}

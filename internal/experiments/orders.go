@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"geoprocmap/internal/apps"
+	"geoprocmap/internal/core"
+	"geoprocmap/internal/netmodel"
+)
+
+// orderSearchRegions is the 8-region EC2 deployment the order-search
+// benchmark sweeps κ over; the paper's 4-region cloud caps κ at 4, too
+// small to exercise the κ! search where it dominates.
+var orderSearchRegions = []string{
+	"us-east-1", "us-west-1", "us-west-2", "eu-west-1",
+	"eu-central-1", "ap-southeast-1", "ap-southeast-2", "ap-northeast-1",
+}
+
+// OrderSearch measures the parallel κ! group-order search against the
+// serial one on the same instances: wall-clock per cell, speedup, and a
+// byte-identity check (the parallel reduction must reproduce the serial
+// placement exactly). Full mode sweeps κ = 6, 7, 8 at N = 64 and 256 —
+// the results/BENCH_orders.json baseline; Quick shrinks to κ = 4, 5 at
+// N = 64 so the suite-wide tests stay fast.
+func OrderSearch(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	kappas := []int{6, 7, 8}
+	sizes := []int{64, 256}
+	if cfg.Quick {
+		kappas = []int{4, 5}
+		sizes = []int{64}
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 2 {
+		// On a single-core host GOMAXPROCS resolves to 1, which would make
+		// the "parallel" column run the serial path; force two goroutines
+		// so the range split and reduction are actually exercised (the
+		// speedup then honestly reads ~1×).
+		workers = 2
+	}
+
+	rep := &Report{
+		ID:     "orders",
+		Title:  "Parallel group-order search: serial vs parallel wall-clock",
+		Header: []string{"kappa", "N", "orders", "serial_ms", "parallel_ms", "speedup", "identical"},
+	}
+	for _, n := range sizes {
+		cloud, err := netmodel.EvenCloud(netmodel.AmazonEC2, "m4.xlarge", orderSearchRegions, n/len(orderSearchRegions), netmodel.Options{Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		inst, err := BuildInstance(cloud, apps.NewKMeans(), n, 1, cfg.ConstraintRatio, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, kappa := range kappas {
+			serial := &core.GeoMapper{Kappa: kappa, Seed: cfg.Seed, Workers: 1}
+			parallel := &core.GeoMapper{Kappa: kappa, Seed: cfg.Seed, Workers: workers}
+			serialPl, serialDur, err := bestOf(inst, serial, cfg.Quick)
+			if err != nil {
+				return nil, err
+			}
+			parallelPl, parallelDur, err := bestOf(inst, parallel, cfg.Quick)
+			if err != nil {
+				return nil, err
+			}
+			orders := 1
+			for i := 2; i <= kappa; i++ {
+				orders *= i
+			}
+			rep.AddRow(
+				fmt.Sprintf("%d", kappa),
+				fmt.Sprintf("%d", n),
+				fmt.Sprintf("%d", orders),
+				fmt.Sprintf("%.2f", serialDur.Seconds()*1e3),
+				fmt.Sprintf("%.2f", parallelDur.Seconds()*1e3),
+				fmt.Sprintf("%.2f", serialDur.Seconds()/parallelDur.Seconds()),
+				fmt.Sprintf("%t", serialPl.Equal(parallelPl)),
+			)
+		}
+	}
+	rep.AddNote("parallel workers = %d, GOMAXPROCS = %d, host cores = %d", workers, runtime.GOMAXPROCS(0), runtime.NumCPU())
+	rep.AddNote("identical = parallel placement byte-equal to serial (deterministic reduction)")
+	return rep, nil
+}
+
+// bestOf times a mapper on the instance, taking the best of three runs in
+// full mode (one under Quick) so scheduler noise doesn't pollute the
+// recorded baseline.
+func bestOf(inst *Instance, m core.Mapper, quick bool) (core.Placement, time.Duration, error) {
+	runs := 3
+	if quick {
+		runs = 1
+	}
+	var bestPl core.Placement
+	var best time.Duration
+	for i := 0; i < runs; i++ {
+		pl, dur, err := inst.MapAndTime(m)
+		if err != nil {
+			return nil, 0, err
+		}
+		if i == 0 || dur < best {
+			bestPl, best = pl, dur
+		}
+	}
+	return bestPl, best, nil
+}

@@ -10,6 +10,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 )
@@ -108,6 +109,24 @@ func (r *Report) CSV() string {
 		writeRow(row)
 	}
 	return b.String()
+}
+
+// JSON renders the report as an indented JSON document with the same
+// fields the text table carries, for machine-readable baselines such as
+// results/BENCH_orders.json.
+func (r *Report) JSON() (string, error) {
+	v := struct {
+		ID     string     `json:"id"`
+		Title  string     `json:"title"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+		Notes  []string   `json:"notes,omitempty"`
+	}{r.ID, r.Title, r.Header, r.Rows, r.Notes}
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(b) + "\n", nil
 }
 
 func max(a, b int) int {

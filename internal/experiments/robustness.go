@@ -79,7 +79,7 @@ func ExtRobustness(cfg Config) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		for _, m := range StandardMappers(cfg.Seed) {
+		for _, m := range StandardMappers(cfg.Seed, cfg.Workers) {
 			pl, _, err := inst.MapAndTime(m)
 			if err != nil {
 				return nil, err

@@ -35,6 +35,12 @@ type Config struct {
 	// noise seeds) each improvement figure averages over, mirroring the
 	// paper's repeated measurements; 0 selects 5, or 3 under Quick.
 	Draws int
+	// Workers is the geo mapper's order-search parallelism for every
+	// GeoMapper an experiment constructs (0 = GOMAXPROCS, 1 = serial).
+	// Any value produces byte-identical placements — the parallel search
+	// reduces deterministically — so it never perturbs reported results,
+	// only wall-clock overhead columns.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -301,11 +307,12 @@ func ImprovementPct(baseline, v float64) float64 {
 	return (baseline - v) / baseline * 100
 }
 
-// StandardMappers returns the paper's three compared algorithms.
-func StandardMappers(seed int64) []core.Mapper {
+// StandardMappers returns the paper's three compared algorithms. workers
+// sets the geo mapper's order-search parallelism (see Config.Workers).
+func StandardMappers(seed int64, workers int) []core.Mapper {
 	return []core.Mapper{
 		&baselines.Greedy{},
 		&baselines.MPIPP{Seed: seed},
-		&core.GeoMapper{Kappa: 4, Seed: seed},
+		&core.GeoMapper{Kappa: 4, Seed: seed, Workers: workers},
 	}
 }

@@ -145,6 +145,8 @@ type View struct {
 	MaxInflight    int            `json:"max_inflight"`
 	QueueDepth     int            `json:"queue_depth"`
 	CacheEntries   int            `json:"cache_entries"`
+	PoolWorkers    int            `json:"pool_workers,omitempty"`
+	SolverWorkers  int            `json:"solver_workers,omitempty"`
 	RequestLatency LatencySummary `json:"request_latency"`
 	SolveLatency   LatencySummary `json:"solve_latency"`
 }

@@ -134,7 +134,7 @@ func (r *MapRequest) validate(maxProcs int, m int) error {
 			return fmt.Errorf("edge %d has negative traffic", i)
 		}
 	}
-	if _, err := r.mapper(); err != nil {
+	if _, err := r.mapper(1); err != nil { // workers=1: only the algorithm name is validated here
 		return err
 	}
 	if r.Workload != "" {
@@ -153,11 +153,15 @@ func (r *MapRequest) iters() int {
 	return r.Iters
 }
 
-// mapper instantiates the requested algorithm.
-func (r *MapRequest) mapper() (core.Mapper, error) {
+// mapper instantiates the requested algorithm. solverWorkers is the
+// server's per-solve order-search parallelism (see Config.SolverWorkers);
+// it does not enter the request fingerprint because the parallel search's
+// deterministic reduction returns byte-identical placements at every
+// worker count.
+func (r *MapRequest) mapper(solverWorkers int) (core.Mapper, error) {
 	switch r.Algorithm {
 	case "", "geo":
-		return &core.GeoMapper{Kappa: r.Kappa, Seed: r.Seed}, nil
+		return &core.GeoMapper{Kappa: r.Kappa, Seed: r.Seed, Workers: solverWorkers}, nil
 	case "greedy":
 		return &baselines.Greedy{}, nil
 	case "mpipp":

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"sync"
 	"time"
 
@@ -21,6 +22,13 @@ type Config struct {
 	Store *Store
 	// Workers is the solver pool size (default 4).
 	Workers int
+	// SolverWorkers is the per-solve order-search parallelism handed to
+	// the geo mapper's Workers knob. Zero derives max(1, GOMAXPROCS /
+	// Workers). Because pool workers run solves concurrently, the product
+	// Workers × SolverWorkers is clamped to GOMAXPROCS so a saturated pool
+	// cannot oversubscribe the machine; placements are byte-identical at
+	// every setting, so the clamp never changes answers.
+	SolverWorkers int
 	// QueueDepth bounds pending solves before requests are shed with
 	// 503 (default 4 × Workers).
 	QueueDepth int
@@ -46,6 +54,8 @@ type Server struct {
 
 	maxProcs        int
 	defaultDeadline time.Duration
+	poolWorkers     int
+	solverWorkers   int
 	logf            func(format string, args ...any)
 	started         time.Time
 
@@ -83,6 +93,14 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
+	if cfg.SolverWorkers < 0 {
+		return nil, fmt.Errorf("service: SolverWorkers = %d, want >= 0", cfg.SolverWorkers)
+	}
+	solverWorkers := clampSolverWorkers(cfg.Workers, cfg.SolverWorkers, runtime.GOMAXPROCS(0))
+	if cfg.SolverWorkers > 0 && solverWorkers != cfg.SolverWorkers {
+		cfg.Logf("solver workers clamped %d → %d: %d pool workers × %d per solve would oversubscribe GOMAXPROCS=%d",
+			cfg.SolverWorkers, solverWorkers, cfg.Workers, cfg.SolverWorkers, runtime.GOMAXPROCS(0))
+	}
 	return &Server{
 		store:           cfg.Store,
 		cache:           newResultCache(cfg.CacheSize),
@@ -90,10 +108,27 @@ func NewServer(cfg Config) (*Server, error) {
 		metrics:         NewMetrics(),
 		maxProcs:        cfg.MaxProcs,
 		defaultDeadline: cfg.DefaultDeadline,
+		poolWorkers:     cfg.Workers,
+		solverWorkers:   solverWorkers,
 		logf:            cfg.Logf,
 		started:         time.Now(),
 		graphs:          map[string]*comm.Graph{},
 	}, nil
+}
+
+// clampSolverWorkers resolves the per-solve parallelism: requested = 0
+// derives a value that exactly fills the machine when every pool worker is
+// busy, and an explicit request is capped by the same oversubscription
+// rule (poolWorkers × solverWorkers ≤ GOMAXPROCS, floor 1).
+func clampSolverWorkers(poolWorkers, requested, maxProcs int) int {
+	limit := maxProcs / poolWorkers
+	if limit < 1 {
+		limit = 1
+	}
+	if requested == 0 || requested > limit {
+		return limit
+	}
+	return requested
 }
 
 // Metrics exposes the server's counter set (geomapd logs a summary on
@@ -198,7 +233,7 @@ func (s *Server) solve(ctx context.Context, req *MapRequest, snap *Snapshot) (*M
 			solveErr = err
 			return
 		}
-		mapper, err := req.mapper()
+		mapper, err := req.mapper(s.solverWorkers)
 		if err != nil {
 			solveErr = err
 			return
@@ -361,7 +396,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.pool.QueueDepth(), s.cache.len()))
+	v := s.metrics.Snapshot(s.pool.QueueDepth(), s.cache.len())
+	// The two parallelism knobs live on the server, not the counter set;
+	// exposing both lets operators verify the pool × per-solve product
+	// against the machine (the oversubscription rule in Config).
+	v.PoolWorkers = s.poolWorkers
+	v.SolverWorkers = s.solverWorkers
+	writeJSON(w, http.StatusOK, v)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
