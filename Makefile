@@ -22,9 +22,11 @@ test:
 
 # Race-detector pass over the packages that spawn goroutines (the virtual
 # MPI scheduler, the network simulator, the mapping service's pool/
-# cache/snapshot-store, and the core mapper's parallel order search).
+# cache/snapshot-store, and the core mapper's parallel order search),
+# plus the analysis loader's concurrent type-check waves.
 race:
 	$(GO) test -race ./internal/mpi/... ./internal/netsim/... ./internal/service/... ./internal/core/...
+	$(GO) test -race -run TestLoadParallelDeterministic ./internal/analysis
 
 # Fault-injection smoke: replay LU through the FlakyWAN preset and run the
 # failure-aware remap path end to end (internal/faults + netsim faulty

@@ -10,6 +10,8 @@
 //	go run ./cmd/geolint -rules              # list the rules
 //	go run ./cmd/geolint -json ./...         # machine-readable findings
 //	go run ./cmd/geolint -staleignores ./... # also report unused ignores
+//	go run ./cmd/geolint -only detcheck,locksafe ./...  # run a subset
+//	go run ./cmd/geolint -skip mapiter ./...            # run all but some
 //
 // The plain-text output ("path:line:col: rule: message") matches the
 // GitHub Actions problem matcher in .github/geolint-matcher.json, so CI
@@ -22,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"geoprocmap/internal/analysis"
 	"geoprocmap/internal/buildinfo"
@@ -40,9 +43,11 @@ func main() {
 	listRules := flag.Bool("rules", false, "list the rules and exit")
 	asJSON := flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	staleIgnores := flag.Bool("staleignores", false, "also report //geolint:ignore directives that suppress nothing")
+	only := flag.String("only", "", "comma-separated rule IDs to run exclusively (unknown IDs are an error)")
+	skip := flag.String("skip", "", "comma-separated rule IDs to leave out (unknown IDs are an error)")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: geolint [-rules] [-json] [-staleignores] [-version] [patterns]\n")
+		fmt.Fprintf(os.Stderr, "usage: geolint [-rules] [-json] [-staleignores] [-only ids] [-skip ids] [-version] [patterns]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -57,6 +62,18 @@ func main() {
 			fmt.Printf("%-14s %s\n", r.ID(), r.Doc())
 		}
 		return
+	}
+	// Rule selection: ignore directives keep being validated against the
+	// full rule set, so a justified ignore for a deselected rule is not
+	// misreported as unknown.
+	known := map[string]bool{}
+	for _, r := range rules {
+		known[r.ID()] = true
+	}
+	rules, err := analysis.SelectRules(rules, splitIDs(*only), splitIDs(*skip))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "geolint:", err)
+		os.Exit(2)
 	}
 
 	root, err := moduleRoot()
@@ -85,7 +102,7 @@ func main() {
 				p.Path, len(p.TypeErrors), p.TypeErrors[0])
 		}
 	}
-	findings := analysis.RunWith(passes, rules, analysis.RunOptions{StaleIgnores: *staleIgnores})
+	findings := analysis.RunWith(passes, rules, analysis.RunOptions{StaleIgnores: *staleIgnores, KnownRules: known})
 	if *asJSON {
 		out := make([]jsonFinding, 0, len(findings))
 		for _, f := range findings {
@@ -112,6 +129,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "geolint: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
+}
+
+// splitIDs parses a comma-separated rule-ID list, dropping empty items.
+func splitIDs(s string) []string {
+	var out []string
+	for _, id := range strings.Split(s, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			out = append(out, id)
+		}
+	}
+	return out
 }
 
 // relTo shortens path relative to root when possible.

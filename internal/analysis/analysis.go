@@ -19,11 +19,24 @@
 //	              appended slices (unless sorted), formatted output, or
 //	              channel sends — the determinism dataflow rule
 //	errcheck      no silently discarded error returns in internal/...
+//	detcheck      interprocedural determinism taint: functions annotated
+//	              //geolint:deterministic must not transitively reach a
+//	              nondeterminism source (time.Now, global math/rand,
+//	              escaping map iteration, channel fan-in, os.Getenv,
+//	              runtime.GOMAXPROCS) over the module call graph; deliberate
+//	              crossings carry a justified //geolint:detsource
+//	locksafe      service-tier lock discipline over the same call graph:
+//	              no mutex held across a blocking operation (directly or
+//	              transitively), no missing unlock on early returns, no
+//	              lock-by-value copies
 //
 // Rules that need module-wide knowledge implement FactExporter; Run drives
 // a fact phase over every package before any rule checks, so (for example)
 // the unit types declared in internal/units are recognized from every
-// importing package.
+// importing package. The engine also builds a module-wide call graph
+// (callgraph.go) before the fact phase, and rules implementing
+// FactFinalizer get one post-export pass to compute derived closures over
+// it.
 //
 // Findings can be suppressed with a justified ignore directive on the
 // offending line or the line above:
@@ -106,7 +119,43 @@ func DefaultRules() []Rule {
 		&UnitCheckRule{},
 		&MapIterRule{},
 		&ErrCheckRule{},
+		&DetCheckRule{},
+		&LockSafeRule{},
 	}
+}
+
+// SelectRules filters the rule set by ID: every ID in only (when
+// non-empty) or absent from skip survives. Unknown IDs in either list are
+// an error, so a typo'd -only never silently lints nothing.
+func SelectRules(rules []Rule, only, skip []string) ([]Rule, error) {
+	byID := map[string]Rule{}
+	for _, r := range rules {
+		byID[r.ID()] = r
+	}
+	for _, id := range append(append([]string{}, only...), skip...) {
+		if byID[id] == nil {
+			return nil, fmt.Errorf("unknown rule %q", id)
+		}
+	}
+	skipSet := map[string]bool{}
+	for _, id := range skip {
+		skipSet[id] = true
+	}
+	onlySet := map[string]bool{}
+	for _, id := range only {
+		onlySet[id] = true
+	}
+	var out []Rule
+	for _, r := range rules {
+		if len(only) > 0 && !onlySet[r.ID()] {
+			continue
+		}
+		if skipSet[r.ID()] {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out, nil
 }
 
 // RunOptions tunes Run's behavior beyond the plain rule sweep.
@@ -115,6 +164,11 @@ type RunOptions struct {
 	// directive (per named rule) that suppressed no finding during the
 	// run, under the pseudo-rule "geolint".
 	StaleIgnores bool
+	// KnownRules, when non-nil, is the full rule-ID universe used to
+	// validate ignore directives. A scoped run (-only/-skip) passes the
+	// default set here so a directive naming an unchecked-but-real rule
+	// is neither "unknown" nor "stale".
+	KnownRules map[string]bool
 }
 
 // Run applies the rules to every package, filters findings through the
@@ -130,6 +184,13 @@ func Run(passes []*Pass, rules []Rule) []Finding {
 // available on Pass.Facts.
 func RunWith(passes []*Pass, rules []Rule, opt RunOptions) []Finding {
 	facts := NewFactSet()
+	// Every pass — fact-only imports included — contributes declarations
+	// and call sites to the module call graph before any rule runs, so a
+	// deterministic root in internal/core sees callees from anywhere in
+	// the loaded closure.
+	for _, p := range passes {
+		facts.AddCallGraphPass(p)
+	}
 	for _, r := range rules {
 		if fe, ok := r.(FactExporter); ok {
 			for _, p := range passes {
@@ -137,9 +198,19 @@ func RunWith(passes []*Pass, rules []Rule, opt RunOptions) []Finding {
 			}
 		}
 	}
-	known := map[string]bool{}
+	facts.FinalizeCallGraph()
 	for _, r := range rules {
-		known[r.ID()] = true
+		if ff, ok := r.(FactFinalizer); ok {
+			ff.FinalizeFacts(facts)
+		}
+	}
+	checked := map[string]bool{}
+	for _, r := range rules {
+		checked[r.ID()] = true
+	}
+	known := opt.KnownRules
+	if known == nil {
+		known = checked
 	}
 	var out []Finding
 	for _, p := range passes {
@@ -158,7 +229,7 @@ func RunWith(passes []*Pass, rules []Rule, opt RunOptions) []Finding {
 			}
 		}
 		if opt.StaleIgnores {
-			out = append(out, ig.stale()...)
+			out = append(out, ig.stale(checked)...)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -172,7 +243,12 @@ func RunWith(passes []*Pass, rules []Rule, opt RunOptions) []Finding {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Rule < b.Rule
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		// Interprocedural rules can report several findings at one
+		// declaration; order them by message so output is stable.
+		return a.Message < b.Message
 	})
 	return out
 }

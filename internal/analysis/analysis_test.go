@@ -31,6 +31,8 @@ func TestRuleGolden(t *testing.T) {
 		{"mapiter", "geoprocmap/internal/fixture", &MapIterRule{}},
 		{"errcheck", "geoprocmap/internal/fixture", &ErrCheckRule{}},
 		{"errcheckcmd", "geoprocmap/cmd/fixture", &ErrCheckRule{}},
+		{"detcheck", "geoprocmap/internal/fixture", &DetCheckRule{}},
+		{"locksafe", "geoprocmap/internal/fixture", &LockSafeRule{}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

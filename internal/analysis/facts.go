@@ -25,11 +25,41 @@ const unitDirective = "//geolint:unit"
 // object identity.
 type FactSet struct {
 	unitTypes map[*types.TypeName]bool
+
+	// cg accumulates the module-wide call graph (callgraph.go). The
+	// engine feeds every pass into it before the rule fact phase.
+	cg *cgBuilder
+
+	// detcheck facts (rule_detcheck.go): annotated roots and boundaries,
+	// per-function nondeterminism sources, line-level detsource excuses,
+	// and malformed-annotation diagnostics keyed by pass path.
+	detRoots      map[*types.Func]token.Position
+	detRootOrder  []*types.Func
+	detBoundaries map[*types.Func]bool
+	detSources    map[*types.Func][]DetSource
+	detDirectives map[string]map[int][]*detDirective
+	detDirList    []*detDirective
+	detMalformed  map[string][]Finding
+
+	// locksafe facts (rule_locksafe.go): functions that block directly,
+	// and the transitive blocking closure computed by the finalizer.
+	blockDirect map[*types.Func]BlockFact
+	blocking    map[*types.Func]BlockFact
 }
 
 // NewFactSet returns an empty fact set.
 func NewFactSet() *FactSet {
-	return &FactSet{unitTypes: map[*types.TypeName]bool{}}
+	return &FactSet{
+		unitTypes:     map[*types.TypeName]bool{},
+		cg:            newCGBuilder(),
+		detRoots:      map[*types.Func]token.Position{},
+		detBoundaries: map[*types.Func]bool{},
+		detSources:    map[*types.Func][]DetSource{},
+		detDirectives: map[string]map[int][]*detDirective{},
+		detMalformed:  map[string][]Finding{},
+		blockDirect:   map[*types.Func]BlockFact{},
+		blocking:      map[*types.Func]BlockFact{},
+	}
 }
 
 // ExportUnitType records obj as a unit type.
@@ -62,6 +92,15 @@ func (fs *FactSet) UnitType(t types.Type) *types.TypeName {
 // Pass.Facts.
 type FactExporter interface {
 	ExportFacts(p *Pass, fs *FactSet)
+}
+
+// FactFinalizer is implemented by rules that derive whole-module facts
+// from the completed export phase — e.g. locksafe's transitive blocking
+// closure needs the finished call graph. Run calls FinalizeFacts exactly
+// once per rule, after every exporter has seen every pass and the call
+// graph has been finalized, and before any Check.
+type FactFinalizer interface {
+	FinalizeFacts(fs *FactSet)
 }
 
 // exportUnitFacts scans the pass's type declarations for //geolint:unit

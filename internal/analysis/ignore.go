@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"go/ast"
 	"go/token"
 	"strings"
 )
@@ -71,14 +72,16 @@ func (ig *ignoreSet) suppressed(f Finding) bool {
 }
 
 // stale returns one finding per (directive, rule) pair that suppressed no
-// finding during the run. Reported under the pseudo-rule "geolint" like
-// malformed directives, and similarly unsuppressable: a stale exemption
-// must be deleted, not excused.
-func (ig *ignoreSet) stale() []Finding {
+// finding during the run, restricted to the rules actually checked — a
+// scoped -only run must not call every other rule's exemptions stale.
+// Reported under the pseudo-rule "geolint" like malformed directives, and
+// similarly unsuppressable: a stale exemption must be deleted, not
+// excused.
+func (ig *ignoreSet) stale(checked map[string]bool) []Finding {
 	var out []Finding
 	for _, d := range ig.all {
 		for _, r := range d.rules {
-			if !d.used[r] {
+			if checked[r] && !d.used[r] {
 				out = append(out, Finding{
 					Rule: "geolint", Pos: d.pos,
 					Message: "stale ignore directive: no " + quote(r) + " finding on this or the next line; delete it",
@@ -99,6 +102,10 @@ func collectIgnores(p *Pass, knownRules map[string]bool) (*ignoreSet, []Finding)
 	for _, sf := range p.Files {
 		for _, cg := range sf.AST.Comments {
 			for _, c := range cg.List {
+				if f, bad := unknownDirective(p, c); bad {
+					malformed = append(malformed, f)
+					continue
+				}
 				var rest string
 				switch {
 				case strings.HasPrefix(c.Text, ignoreLinePrefix):
@@ -144,6 +151,36 @@ func collectIgnores(p *Pass, knownRules map[string]bool) (*ignoreSet, []Finding)
 		}
 	}
 	return ig, malformed
+}
+
+// geolintDirectives is the closed set of recognized //geolint:<verb>
+// directive verbs. Anything else spelled like a directive is reported, so
+// a typo ("//geolint:determinstic") cannot silently annotate nothing.
+var geolintDirectives = map[string]bool{
+	"ignore":        true,
+	"unit":          true,
+	"deterministic": true,
+	"detsource":     true,
+}
+
+// unknownDirective reports a comment that looks like a geolint directive
+// but uses an unrecognized verb.
+func unknownDirective(p *Pass, c *ast.Comment) (Finding, bool) {
+	const prefix = "//geolint:"
+	if !strings.HasPrefix(c.Text, prefix) {
+		return Finding{}, false
+	}
+	verb := strings.TrimPrefix(c.Text, prefix)
+	if i := strings.IndexAny(verb, " \t"); i >= 0 {
+		verb = verb[:i]
+	}
+	if geolintDirectives[verb] {
+		return Finding{}, false
+	}
+	return Finding{
+		Rule: "geolint", Pos: p.Fset.Position(c.Pos()),
+		Message: "unknown geolint directive " + quote(verb) + "; recognized: ignore, unit, deterministic, detsource",
+	}, true
 }
 
 func quote(s string) string { return "\"" + s + "\"" }

@@ -9,8 +9,11 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
 )
 
 // Config describes what to load.
@@ -23,6 +26,12 @@ type Config struct {
 	// Root: "./..." (everything), "./internal/..." (subtree), or a plain
 	// directory. Empty means everything.
 	Patterns []string
+	// Parallelism caps the goroutines parsing and type-checking
+	// packages. Zero selects min(GOMAXPROCS, number of packages); 1
+	// loads serially. Whatever the value, the returned passes and their
+	// contents are identical: packages are type-checked in dependency
+	// waves and merged in import-path order.
+	Parallelism int
 }
 
 // Load parses and best-effort type-checks every package under the module
@@ -30,6 +39,14 @@ type Config struct {
 // named testdata, vendor, or starting with "." or "_" are skipped, as the
 // go tool does. Type-check failures are recorded on the Pass rather than
 // aborting, so syntactic rules always run.
+//
+// Loading is parallel: the matched directories and their module-internal
+// import closure are parsed concurrently, then type-checked wave by wave
+// of the import DAG — every package in a wave depends only on completed
+// packages, so one types.Package is built exactly once and shared by all
+// importers (facts stay keyed on object identity). The standard-library
+// source importer is not concurrency-safe and is serialized behind a
+// mutex; its cache makes that a first-wave cost only.
 func Load(cfg Config) ([]*Pass, error) {
 	root, err := filepath.Abs(cfg.Root)
 	if err != nil {
@@ -42,39 +59,31 @@ func Load(cfg Config) ([]*Pass, error) {
 			return nil, err
 		}
 	}
-	l := &loader{
-		root:   root,
-		module: module,
-		fset:   token.NewFileSet(),
-		passes: map[string]*Pass{},
-		typed:  map[string]*typedPkg{},
-	}
-	l.std = importer.ForCompiler(l.fset, "source", nil)
-
+	l := newLoader(root, module, cfg.Parallelism)
 	dirs, err := l.packageDirs(cfg.Patterns)
 	if err != nil {
 		return nil, err
 	}
-	var out []*Pass
-	matched := map[*Pass]bool{}
-	for _, dir := range dirs {
-		p, err := l.load(dir)
-		if err != nil {
-			return nil, err
-		}
-		if p != nil {
-			out = append(out, p)
-			matched[p] = true
-		}
+	if err := l.parseClosure(dirs); err != nil {
+		return nil, err
 	}
-	// Packages pulled in only as imports of the matched set still carry
-	// facts (unit-type declarations); hand them to Run as fact-only
-	// passes so subtree patterns don't lose cross-package rules.
-	for _, p := range l.passes {
-		if p != nil && !matched[p] {
-			p.FactsOnly = true
-			out = append(out, p)
+	l.typeCheckAll()
+
+	matched := map[string]bool{}
+	for _, dir := range dirs {
+		matched[dir] = true
+	}
+	var out []*Pass
+	for dir, p := range l.passes {
+		if p == nil {
+			continue
 		}
+		// Packages pulled in only as imports of the matched set still
+		// carry facts (unit types, call-graph nodes); hand them to Run as
+		// fact-only passes so subtree patterns don't lose cross-package
+		// rules.
+		p.FactsOnly = !matched[dir]
+		out = append(out, p)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
 	return out, nil
@@ -85,15 +94,14 @@ func Load(cfg Config) ([]*Pass, error) {
 // fixture packages at rule-relevant fake paths (e.g. a testdata fixture
 // pretending to live under geoprocmap/internal/mpi).
 func LoadDir(dir, fakePath string) (*Pass, error) {
-	l := &loader{
-		root:   dir,
-		module: fakePath,
-		fset:   token.NewFileSet(),
-		passes: map[string]*Pass{},
-		typed:  map[string]*typedPkg{},
+	l := newLoader(dir, fakePath, 1)
+	p, err := l.parseDir(dir)
+	if err != nil || p == nil {
+		return p, err
 	}
-	l.std = importer.ForCompiler(l.fset, "source", nil)
-	return l.load(dir)
+	l.passes[dir] = p
+	l.typeCheckAll()
+	return p, nil
 }
 
 type typedPkg struct {
@@ -102,12 +110,69 @@ type typedPkg struct {
 }
 
 type loader struct {
-	root   string
-	module string
-	fset   *token.FileSet
-	std    types.Importer
-	passes map[string]*Pass // dir → pass
-	typed  map[string]*typedPkg
+	root    string
+	module  string
+	workers int
+	fset    *token.FileSet
+
+	// std is the standard-library source importer. It is NOT safe for
+	// concurrent use; stdMu serializes it across type-check workers.
+	std   types.Importer
+	stdMu sync.Mutex
+
+	// passes and typed are written only between parallel phases: the
+	// parse loop fills passes round by round, and the type-check loop
+	// publishes each wave's results before the next wave starts. Workers
+	// therefore only ever read them.
+	passes map[string]*Pass     // dir → pass (nil: no Go files)
+	typed  map[string]*typedPkg // import path → completed result
+}
+
+func newLoader(root, module string, parallelism int) *loader {
+	return &loader{
+		root:    root,
+		module:  module,
+		workers: parallelism,
+		fset:    token.NewFileSet(),
+		std:     importer.ForCompiler(token.NewFileSet(), "source", nil),
+		passes:  map[string]*Pass{},
+		typed:   map[string]*typedPkg{},
+	}
+}
+
+// forEach runs fn(0..n-1) across min(workers, n) goroutines, or inline
+// when that is 1. token.FileSet is internally synchronized, so parsing
+// and type-checking may share l.fset across workers.
+func (l *loader) forEach(n int, fn func(i int)) {
+	workers := l.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
 }
 
 // modulePath extracts the module path from a go.mod file.
@@ -200,12 +265,64 @@ func (l *loader) dirFor(path string) string {
 	return filepath.Join(l.root, filepath.FromSlash(strings.TrimPrefix(path, l.module+"/")))
 }
 
-// load parses one package directory into a Pass, type-checking its
-// non-test files.
-func (l *loader) load(dir string) (*Pass, error) {
-	if p, ok := l.passes[dir]; ok {
-		return p, nil
+// parseClosure parses the given directories and, round by round, every
+// module-internal package they import, in parallel. Parse errors in the
+// requested directories abort; an unreadable directory reached only
+// through an import is recorded as that import path's resolution error
+// (matching the serial loader, where it surfaced as a type-check
+// diagnostic of the importer).
+func (l *loader) parseClosure(dirs []string) error {
+	requested := map[string]bool{}
+	for _, d := range dirs {
+		requested[d] = true
 	}
+	pending := append([]string(nil), dirs...)
+	seen := map[string]bool{}
+	for len(pending) > 0 {
+		var batch []string
+		for _, d := range pending {
+			if !seen[d] {
+				seen[d] = true
+				batch = append(batch, d)
+			}
+		}
+		pending = nil
+		if len(batch) == 0 {
+			break
+		}
+		sort.Strings(batch)
+		results := make([]*Pass, len(batch))
+		errs := make([]error, len(batch))
+		l.forEach(len(batch), func(i int) {
+			results[i], errs[i] = l.parseDir(batch[i])
+		})
+		for i, err := range errs {
+			if err == nil {
+				continue
+			}
+			if requested[batch[i]] {
+				return err
+			}
+			l.typed[l.importPath(batch[i])] = &typedPkg{err: err}
+		}
+		for i, p := range results {
+			l.passes[batch[i]] = p
+			if p == nil || errs[i] != nil {
+				continue
+			}
+			for _, imp := range l.moduleImports(p) {
+				if d := l.dirFor(imp); !seen[d] {
+					pending = append(pending, d)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// parseDir parses one package directory into a Pass (nil when it holds no
+// Go files).
+func (l *loader) parseDir(dir string) (*Pass, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -228,13 +345,119 @@ func (l *loader) load(dir string) (*Pass, error) {
 		})
 	}
 	if len(p.Files) == 0 {
-		l.passes[dir] = nil
 		return nil, nil
 	}
 	sort.Slice(p.Files, func(i, j int) bool { return p.Files[i].Name < p.Files[j].Name })
-	l.passes[dir] = p
-	l.typeCheck(p)
 	return p, nil
+}
+
+// moduleImports returns the module-internal import paths of a package's
+// non-test files, deduplicated and sorted.
+func (l *loader) moduleImports(p *Pass) []string {
+	set := map[string]bool{}
+	for _, sf := range p.Files {
+		if sf.Test {
+			continue
+		}
+		for _, imp := range sf.AST.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == l.module || strings.HasPrefix(path, l.module+"/") {
+				set[path] = true
+			}
+		}
+	}
+	var out []string
+	for path := range set {
+		out = append(out, path)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// typeCheckAll type-checks every parsed package in dependency waves: a
+// package joins a wave once all its module-internal imports are complete,
+// so each wave's packages are independent and check concurrently while
+// the importer reads only finished results. Packages left over when no
+// wave can form sit on an import cycle (or import a broken package) and
+// get a diagnostic instead of type information.
+func (l *loader) typeCheckAll() {
+	type node struct {
+		pass *Pass
+		deps []string
+	}
+	byPath := map[string]*Pass{}
+	var order []string
+	for _, p := range l.passes {
+		if p == nil {
+			continue
+		}
+		byPath[p.Path] = p
+		order = append(order, p.Path)
+	}
+	sort.Strings(order)
+	nodes := map[string]*node{}
+	for _, path := range order {
+		p := byPath[path]
+		var deps []string
+		for _, imp := range l.moduleImports(p) {
+			if imp != path {
+				deps = append(deps, imp)
+			}
+		}
+		nodes[path] = &node{pass: p, deps: deps}
+	}
+	remaining := len(nodes)
+	done := func(path string) bool { _, ok := l.typed[path]; return ok }
+	for remaining > 0 {
+		var wave []*node
+		for _, path := range order {
+			n := nodes[path]
+			if n == nil || done(path) {
+				continue
+			}
+			ready := true
+			for _, dep := range n.deps {
+				// A dep outside the parsed set resolves to an importer
+				// error during the check; only parsed-but-unfinished deps
+				// hold a package back.
+				if _, parsed := nodes[dep]; parsed && !done(dep) {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				wave = append(wave, n)
+			}
+		}
+		if len(wave) == 0 {
+			// The remaining packages form import cycles.
+			for _, path := range order {
+				n := nodes[path]
+				if n == nil || done(path) {
+					continue
+				}
+				err := fmt.Errorf("analysis: import cycle through %s", path)
+				n.pass.TypeErrors = append(n.pass.TypeErrors, err)
+				l.typed[path] = &typedPkg{err: err}
+				remaining--
+			}
+			return
+		}
+		l.forEach(len(wave), func(i int) {
+			l.typeCheck(wave[i].pass)
+		})
+		for _, n := range wave {
+			t := &typedPkg{pkg: n.pass.Pkg}
+			if n.pass.Pkg == nil {
+				t.err = fmt.Errorf("analysis: cannot type-check %s", n.pass.Path)
+			}
+			l.typed[n.pass.Path] = t
+			remaining--
+		}
+	}
 }
 
 // typeCheck populates p.Info/p.Pkg from the package's non-test files.
@@ -251,9 +474,10 @@ func (l *loader) typeCheck(p *Pass) {
 		return
 	}
 	info := &types.Info{
-		Types: map[ast.Expr]types.TypeAndValue{},
-		Uses:  map[*ast.Ident]types.Object{},
-		Defs:  map[*ast.Ident]types.Object{},
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
 	}
 	conf := types.Config{
 		Importer: (*moduleImporter)(l),
@@ -267,9 +491,9 @@ func (l *loader) typeCheck(p *Pass) {
 	p.Pkg = pkg
 }
 
-// moduleImporter resolves module-internal imports by recursively loading
-// them from source and delegates everything else (the standard library)
-// to the stdlib source importer.
+// moduleImporter resolves module-internal imports from the completed
+// waves and delegates everything else (the standard library) to the
+// stdlib source importer, serialized behind stdMu.
 type moduleImporter loader
 
 func (m *moduleImporter) Import(path string) (*types.Package, error) {
@@ -278,19 +502,9 @@ func (m *moduleImporter) Import(path string) (*types.Package, error) {
 		if t, ok := l.typed[path]; ok {
 			return t.pkg, t.err
 		}
-		// Reserve the slot first so import cycles fail cleanly instead of
-		// recursing forever.
-		l.typed[path] = &typedPkg{err: fmt.Errorf("analysis: import cycle through %s", path)}
-		p, err := l.load(l.dirFor(path))
-		if err == nil && (p == nil || p.Pkg == nil) {
-			err = fmt.Errorf("analysis: cannot type-check %s", path)
-		}
-		t := &typedPkg{err: err}
-		if p != nil {
-			t.pkg = p.Pkg
-		}
-		l.typed[path] = t
-		return t.pkg, t.err
+		return nil, fmt.Errorf("analysis: cannot resolve %s", path)
 	}
+	l.stdMu.Lock()
+	defer l.stdMu.Unlock()
 	return l.std.Import(path)
 }

@@ -1,0 +1,178 @@
+package analysis
+
+import (
+	"fmt"
+	"go/parser"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// parseFixturePass builds a typed single-file pass from source, for
+// directive-grammar tests that cannot co-locate golden want markers with
+// the directives under test.
+func parseFixturePass(t *testing.T, src string) *Pass {
+	t.Helper()
+	l := newLoader("", "geoprocmap", 1)
+	fset := l.fset
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Pass{
+		Fset:  fset,
+		Path:  "geoprocmap/internal/fixture",
+		Files: []*SourceFile{{Name: "fixture.go", AST: f}},
+	}
+	l.passes["fixture"] = p
+	l.typeCheckAll()
+	if len(p.TypeErrors) > 0 {
+		t.Fatalf("fixture does not type-check: %v", p.TypeErrors[0])
+	}
+	return p
+}
+
+// TestDetcheckDirectiveHygiene covers the annotation grammar's failure
+// modes: stale line-level excuses, missing justifications, markers off a
+// function declaration, and markers with arguments all become findings.
+func TestDetcheckDirectiveHygiene(t *testing.T) {
+	src := `package fixture
+
+import "time"
+
+//geolint:detsource nothing on this line or the next needs excusing
+var x = 1
+
+//geolint:deterministic
+func clean() int { return x }
+
+// floating marker, attached to no declaration:
+//
+// a paragraph break keeps the next comment out of any doc group
+var _ = 0
+
+//geolint:deterministic
+var y = 2
+
+// reasoned is a doc comment.
+//
+//geolint:detsource
+func reasoned() time.Time { return time.Now() }
+
+//geolint:deterministic with an argument
+func argRoot() int { return 0 }
+`
+	p := parseFixturePass(t, src)
+	findings := Run([]*Pass{p}, []Rule{&DetCheckRule{}})
+	got := map[string]bool{}
+	for _, f := range findings {
+		got[fmt.Sprintf("%d", f.Pos.Line)] = true
+		if f.Rule != "detcheck" {
+			t.Errorf("finding rule = %s, want detcheck: %v", f.Rule, f)
+		}
+	}
+	wants := map[string]string{
+		"5":  "stale detsource excuse",
+		"16": "must be the doc comment of a function declaration",
+		"21": "no justification",
+		"24": "takes no arguments",
+	}
+	if len(findings) != len(wants) {
+		t.Errorf("got %d findings, want %d: %v", len(findings), len(wants), findings)
+	}
+	for line, msg := range wants {
+		found := false
+		for _, f := range findings {
+			if fmt.Sprintf("%d", f.Pos.Line) == line && strings.Contains(f.Message, msg) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing finding at line %s containing %q; got %v", line, msg, findings)
+		}
+	}
+	// The malformed detsource must NOT have registered a boundary, and the
+	// malformed root markers must not have registered roots.
+	if len(p.Facts.detBoundaries) != 0 {
+		t.Errorf("malformed detsource registered %d boundaries", len(p.Facts.detBoundaries))
+	}
+	if len(p.Facts.detRootOrder) != 1 {
+		t.Errorf("registered %d roots, want only the clean one", len(p.Facts.detRootOrder))
+	}
+}
+
+// TestSelectRules covers the -only/-skip rule selection used by
+// cmd/geolint: filtering keeps declaration order, and unknown IDs are
+// errors rather than silent no-ops.
+func TestSelectRules(t *testing.T) {
+	all := DefaultRules()
+	ids := func(rules []Rule) []string {
+		var out []string
+		for _, r := range rules {
+			out = append(out, r.ID())
+		}
+		return out
+	}
+
+	only, err := SelectRules(all, []string{"detcheck", "mapiter"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ids(only); len(got) != 2 || got[0] != "mapiter" || got[1] != "detcheck" {
+		t.Errorf("only = %v, want [mapiter detcheck] in declaration order", got)
+	}
+
+	skip, err := SelectRules(all, nil, []string{"locksafe"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ids(skip); len(got) != len(all)-1 {
+		t.Errorf("skip left %v", got)
+	}
+	for _, id := range ids(skip) {
+		if id == "locksafe" {
+			t.Error("skip did not remove locksafe")
+		}
+	}
+
+	if _, err := SelectRules(all, []string{"nosuchrule"}, nil); err == nil {
+		t.Error("unknown -only rule: want error")
+	}
+	if _, err := SelectRules(all, nil, []string{"nosuchrule"}); err == nil {
+		t.Error("unknown -skip rule: want error")
+	}
+}
+
+// TestDeterministicRootsResolve is the annotation-coverage guard: every
+// //geolint:deterministic marker in the repository must resolve to a
+// function the call graph actually has a node for — a marker that drifts
+// onto a declaration the graph cannot see would silently stop being
+// checked.
+func TestDeterministicRootsResolve(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	passes, err := Load(Config{Root: root})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	fs := NewFactSet()
+	for _, p := range passes {
+		fs.AddCallGraphPass(p)
+	}
+	fs.FinalizeCallGraph()
+	rule := &DetCheckRule{}
+	for _, p := range passes {
+		rule.ExportFacts(p, fs)
+	}
+	if len(fs.detRootOrder) < 10 {
+		t.Fatalf("found %d deterministic roots, expected at least 10 (Map/Remap, baselines, fingerprint, experiments)", len(fs.detRootOrder))
+	}
+	g := fs.CallGraph()
+	for _, fn := range fs.detRootOrder {
+		if g.Node(fn) == nil {
+			t.Errorf("deterministic root %s (annotated at %s) has no call-graph node", fn.FullName(), fs.detRoots[fn])
+		}
+	}
+}

@@ -1,0 +1,848 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// BlockFact records why calling a function may block: a direct blocking
+// operation in its body, or a transitive call to one (computed by the
+// finalizer over the call graph).
+type BlockFact struct {
+	Desc string
+	Pos  token.Position
+}
+
+// LockSafeRule is the service-tier lock-discipline rule. The fact phase
+// marks every function whose body performs a blocking operation — a
+// channel send or receive (outside a select with a default case), a
+// select without a default, sync.WaitGroup.Wait / sync.Cond.Wait,
+// time.Sleep, or an HTTP round-trip — and the finalizer closes that set
+// transitively over static, dynamic, and interface call edges (goroutine
+// launches don't block their caller).
+//
+// The check phase then abstractly interprets each function with a held-
+// mutex set and a needs-unlock set:
+//
+//   - a blocking operation, or a call to a (transitively) blocking
+//     function, while any mutex is held → finding. A throughput hazard in
+//     the service tier: Pool.Submit parking on a full queue while holding
+//     p.mu would freeze Close and every other submitter.
+//   - a return while a mutex still needs unlocking, in a function that
+//     does unlock that mutex on some other path → missing unlock on an
+//     early return. Functions that never unlock (lock helpers) are not
+//     flagged.
+//   - a sync.Mutex/RWMutex copied by value: value receivers or value
+//     parameters of mutex-bearing structs, and direct assignments of a
+//     mutex value.
+//
+// Branches are merged conservatively (a mutex held on any surviving path
+// counts as held); defer mu.Unlock() satisfies the unlock obligation while
+// keeping the mutex held for the remainder. Function literals are
+// analyzed with fresh state — they run in their own context.
+type LockSafeRule struct{}
+
+func (*LockSafeRule) ID() string { return "locksafe" }
+
+func (*LockSafeRule) Doc() string {
+	return "flag mutexes held across (transitively) blocking operations, missing unlocks on early returns, and locks copied by value"
+}
+
+func (r *LockSafeRule) inScope(path string) bool {
+	return strings.Contains(path, "/internal/") || strings.Contains(path, "/cmd/")
+}
+
+// ExportFacts records which functions block directly.
+func (r *LockSafeRule) ExportFacts(p *Pass, fs *FactSet) {
+	if p.Info == nil {
+		return
+	}
+	for _, sf := range p.Files {
+		if sf.Test {
+			continue
+		}
+		walkFuncs(sf.AST, func(fd *ast.FuncDecl) {
+			if fd.Body == nil {
+				return
+			}
+			fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				return
+			}
+			if bf, ok := directBlock(p, fd.Body); ok {
+				fs.blockDirect[fn] = bf
+			}
+		})
+	}
+}
+
+// FinalizeFacts computes the transitive blocking closure over the call
+// graph: a function blocks if it directly blocks or calls (statically,
+// dynamically, or through an interface) a blocking function. Goroutine
+// launches and bare references don't block the caller; deferred calls run
+// after the body, where flagging would be more noise than signal.
+func (r *LockSafeRule) FinalizeFacts(fs *FactSet) {
+	for fn, bf := range fs.blockDirect {
+		fs.blocking[fn] = bf
+	}
+	g := fs.CallGraph()
+	if g == nil {
+		return
+	}
+	funcs := g.Funcs() // sorted, so the fixpoint (and its messages) is deterministic
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range funcs {
+			if _, done := fs.blocking[fn]; done {
+				continue
+			}
+			for _, e := range g.Node(fn).Edges {
+				if e.Mode != CallStatic && e.Mode != CallDynamic && e.Mode != CallIface {
+					continue
+				}
+				cb, ok := fs.blocking[e.Callee]
+				if !ok {
+					continue
+				}
+				fs.blocking[fn] = BlockFact{
+					Desc: "calls " + shortFuncName(e.Callee) + ", which blocks (" + cb.Desc + ")",
+					Pos:  e.Pos,
+				}
+				changed = true
+				break
+			}
+		}
+	}
+}
+
+// Blocking returns why fn may block, if it does.
+func (fs *FactSet) Blocking(fn *types.Func) (BlockFact, bool) {
+	bf, ok := fs.blocking[fn]
+	return bf, ok
+}
+
+// directBlock finds the first blocking operation in a body, skipping
+// goroutine-launch literals (they block their own goroutine, not the
+// caller) and non-blocking selects.
+func directBlock(p *Pass, body *ast.BlockStmt) (BlockFact, bool) {
+	var out BlockFact
+	found := false
+	skip := goLiterals(body)
+	nb := nonBlockingComm(body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found || skip[n] {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if !nb[n] {
+				out, found = BlockFact{Desc: "channel send at " + shortPos(p.position(n.Arrow)), Pos: p.position(n.Arrow)}, true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !nb[n] {
+				out, found = BlockFact{Desc: "channel receive at " + shortPos(p.position(n.OpPos)), Pos: p.position(n.OpPos)}, true
+			}
+		case *ast.SelectStmt:
+			if selectBlocks(n) {
+				out, found = BlockFact{Desc: "select at " + shortPos(p.position(n.Select)), Pos: p.position(n.Select)}, true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := p.Info.Types[n.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					out, found = BlockFact{Desc: "range over a channel at " + shortPos(p.position(n.For)), Pos: p.position(n.For)}, true
+				}
+			}
+		case *ast.CallExpr:
+			if desc := blockingStdCall(p, n); desc != "" {
+				out, found = BlockFact{Desc: desc + " at " + shortPos(p.position(n.Lparen)), Pos: p.position(n.Lparen)}, true
+			}
+		}
+		return !found
+	})
+	return out, found
+}
+
+// goLiterals collects function literals launched directly with go; their
+// bodies run on another goroutine.
+func goLiterals(body ast.Node) map[ast.Node]bool {
+	skip := map[ast.Node]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+				skip[lit.Body] = true
+			}
+		}
+		return true
+	})
+	return skip
+}
+
+// nonBlockingComm collects the communication operations of selects that
+// have a default case — those sends/receives never park.
+func nonBlockingComm(body ast.Node) map[ast.Node]bool {
+	nb := map[ast.Node]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok || selectBlocks(sel) {
+			return true
+		}
+		for _, cl := range sel.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok && cc.Comm != nil {
+				markComm(cc.Comm, nb)
+			}
+		}
+		return true
+	})
+	return nb
+}
+
+// markComm marks the comm statement's channel operations (the clause
+// head only — its body executes normally).
+func markComm(s ast.Stmt, nb map[ast.Node]bool) {
+	nb[s] = true
+	ast.Inspect(s, func(n ast.Node) bool {
+		if u, ok := n.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			nb[u] = true
+		}
+		return true
+	})
+}
+
+// selectBlocks reports whether a select can park: no default case.
+func selectBlocks(sel *ast.SelectStmt) bool {
+	for _, cl := range sel.Body.List {
+		if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// blockingStdCall matches standard-library calls that park the caller.
+func blockingStdCall(p *Pass, call *ast.CallExpr) string {
+	var id *ast.Ident
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = f
+	case *ast.SelectorExpr:
+		id = f.Sel
+	default:
+		return ""
+	}
+	fn, ok := p.Info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	switch fn.Pkg().Path() {
+	case "sync":
+		if fn.Name() == "Wait" {
+			return "sync." + recvTypeName(fn) + ".Wait"
+		}
+	case "time":
+		if fn.Name() == "Sleep" {
+			return "time.Sleep"
+		}
+	case "net/http":
+		switch fn.Name() {
+		case "Do", "Get", "Post", "PostForm", "Head", "RoundTrip":
+			return "HTTP round-trip (net/http." + fn.Name() + ")"
+		}
+	}
+	return ""
+}
+
+// recvTypeName names a method's receiver type ("WaitGroup", "Cond").
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+func shortPos(pos token.Position) string {
+	return filepath.Base(pos.Filename) + ":" + strconv.Itoa(pos.Line)
+}
+
+// Check runs the lock-copy scan and the abstract held/needs-unlock walk
+// over every function of an in-scope pass.
+func (r *LockSafeRule) Check(p *Pass) []Finding {
+	if !r.inScope(p.Path) || p.Info == nil || p.Facts == nil {
+		return nil
+	}
+	var out []Finding
+	for _, sf := range p.Files {
+		if sf.Test {
+			continue
+		}
+		walkFuncs(sf.AST, func(fd *ast.FuncDecl) {
+			out = append(out, r.checkCopies(p, fd)...)
+			if fd.Body == nil {
+				return
+			}
+			w := &lockWalker{p: p, fs: p.Facts}
+			w.unlockedSomewhere = unlockedMutexes(fd.Body)
+			w.walkStmts(fd.Body.List, newLockState())
+			out = append(out, w.findings...)
+		})
+	}
+	return out
+}
+
+// checkCopies flags mutexes (or mutex-bearing structs) passed or received
+// by value, and direct assignments copying a mutex.
+func (r *LockSafeRule) checkCopies(p *Pass, fd *ast.FuncDecl) []Finding {
+	var out []Finding
+	flagField := func(fl *ast.Field, what string) {
+		if len(fl.Names) == 0 && fl.Type == nil {
+			return
+		}
+		t := p.Info.TypeOf(fl.Type)
+		if t == nil {
+			return
+		}
+		if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+			return
+		}
+		if mutexBearing(t) {
+			out = append(out, Finding{
+				Rule: "locksafe", Pos: p.position(fl.Pos()),
+				Message: what + " copies a sync.Mutex by value; use a pointer so every caller locks the same mutex",
+			})
+		}
+	}
+	if fd.Recv != nil {
+		for _, fl := range fd.Recv.List {
+			flagField(fl, "value receiver of "+quote(fd.Name.Name))
+		}
+	}
+	if fd.Type.Params != nil {
+		for _, fl := range fd.Type.Params.List {
+			flagField(fl, "value parameter of "+quote(fd.Name.Name))
+		}
+	}
+	if fd.Body != nil {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for _, rhs := range as.Rhs {
+				e := ast.Unparen(rhs)
+				// Constructing a fresh value (composite literal, call
+				// result) is fine; copying an existing variable is not.
+				switch e.(type) {
+				case *ast.CompositeLit, *ast.CallExpr:
+					continue
+				}
+				t := p.Info.TypeOf(e)
+				if t == nil || !isMutexType(t) {
+					continue
+				}
+				out = append(out, Finding{
+					Rule: "locksafe", Pos: p.position(rhs.Pos()),
+					Message: "assignment copies a sync.Mutex by value; the copy guards nothing",
+				})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isMutexType reports whether t is sync.Mutex or sync.RWMutex.
+func isMutexType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// mutexBearing reports whether t is a mutex or a struct containing one
+// (directly or through embedded structs).
+func mutexBearing(t types.Type) bool {
+	return mutexBearingDepth(t, 0)
+}
+
+func mutexBearingDepth(t types.Type, depth int) bool {
+	if depth > 10 || t == nil {
+		return false
+	}
+	if isMutexType(t) {
+		return true
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if mutexBearingDepth(st.Field(i).Type(), depth+1) {
+			return true
+		}
+	}
+	return false
+}
+
+// unlockedMutexes collects the keys of every mutex a body unlocks
+// non-deferred — only those can have a "missing unlock" path.
+func unlockedMutexes(body *ast.BlockStmt) map[string]bool {
+	keys := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if key, op := mutexOp(call); op == "Unlock" || op == "RUnlock" {
+			keys[key] = true
+		}
+		return true
+	})
+	return keys
+}
+
+// mutexOp decodes mu.Lock()/Unlock()/RLock()/RUnlock() into the mutex
+// key (the receiver expression's source form) and the operation name.
+func mutexOp(call *ast.CallExpr) (string, string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+		return types.ExprString(sel.X), sel.Sel.Name
+	}
+	return "", ""
+}
+
+// lockState is the abstract state of the walk: which mutexes are held,
+// and which still owe an unlock on this path (a deferred unlock clears
+// the debt but keeps the mutex held).
+type lockState struct {
+	held       map[string]token.Pos
+	need       map[string]token.Pos
+	terminated bool
+}
+
+func newLockState() *lockState {
+	return &lockState{held: map[string]token.Pos{}, need: map[string]token.Pos{}}
+}
+
+func (s *lockState) clone() *lockState {
+	c := newLockState()
+	for k, v := range s.held {
+		c.held[k] = v
+	}
+	for k, v := range s.need {
+		c.need[k] = v
+	}
+	return c
+}
+
+// merge unions another branch's surviving state into s (held/need on any
+// path count), keeping s terminated only if every branch terminated.
+func (s *lockState) merge(o *lockState) {
+	if o.terminated {
+		return
+	}
+	for k, v := range o.held {
+		if _, ok := s.held[k]; !ok {
+			s.held[k] = v
+		}
+	}
+	for k, v := range o.need {
+		if _, ok := s.need[k]; !ok {
+			s.need[k] = v
+		}
+	}
+	s.terminated = false
+}
+
+// heldKeys returns the held mutex keys sorted, for stable messages.
+func (s *lockState) heldKeys() []string {
+	var keys []string
+	for k := range s.held {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// lockWalker drives the abstract interpretation of one function body.
+type lockWalker struct {
+	p                 *Pass
+	fs                *FactSet
+	unlockedSomewhere map[string]bool
+	findings          []Finding
+}
+
+func (w *lockWalker) walkStmts(stmts []ast.Stmt, s *lockState) {
+	for _, st := range stmts {
+		if s.terminated {
+			return
+		}
+		w.walkStmt(st, s)
+	}
+}
+
+func (w *lockWalker) walkStmt(stmt ast.Stmt, s *lockState) {
+	switch st := stmt.(type) {
+	case *ast.BlockStmt:
+		w.walkStmts(st.List, s)
+	case *ast.LabeledStmt:
+		w.walkStmt(st.Stmt, s)
+	case *ast.ExprStmt:
+		w.scanExpr(st.X, s)
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			w.scanExpr(e, s)
+		}
+		for _, e := range st.Lhs {
+			w.scanExpr(e, s)
+		}
+	case *ast.DeclStmt:
+		ast.Inspect(st, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				w.scanExpr(e, s)
+				return false
+			}
+			return true
+		})
+	case *ast.SendStmt:
+		w.scanExpr(st.Chan, s)
+		w.scanExpr(st.Value, s)
+		w.blockingOp(s, st.Arrow, "channel send")
+	case *ast.IncDecStmt:
+		w.scanExpr(st.X, s)
+	case *ast.DeferStmt:
+		if call := st.Call; call != nil {
+			if key, op := mutexOp(call); op == "Unlock" || op == "RUnlock" {
+				delete(s.need, key)
+				return
+			}
+			// A deferred call runs at exit; its blocking behavior is out
+			// of scope, but literals passed to it still get fresh-state
+			// analysis.
+			w.scanLits(call, s)
+		}
+	case *ast.GoStmt:
+		// Runs concurrently — never blocks the caller; analyze any
+		// literal body with fresh state.
+		w.scanLits(st.Call, s)
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			w.scanExpr(e, s)
+		}
+		w.checkReturn(s, st.Return)
+		s.terminated = true
+	case *ast.BranchStmt:
+		s.terminated = true
+	case *ast.IfStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init, s)
+		}
+		w.scanExpr(st.Cond, s)
+		thenS := s.clone()
+		w.walkStmt(st.Body, thenS)
+		elseS := s.clone()
+		if st.Else != nil {
+			w.walkStmt(st.Else, elseS)
+		}
+		*s = *elseS
+		s.merge(thenS)
+		if thenS.terminated && st.Else != nil && elseS.terminated {
+			s.terminated = true
+		}
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		w.walkCases(stmt, s)
+	case *ast.SelectStmt:
+		if selectBlocks(st) {
+			w.blockingOp(s, st.Select, "select")
+		}
+		base := s.clone()
+		first := true
+		for _, cl := range st.Body.List {
+			cc, ok := cl.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			caseS := base.clone()
+			if cc.Comm != nil {
+				// The comm op itself is accounted at the select level.
+				if as, ok := cc.Comm.(*ast.AssignStmt); ok {
+					for _, e := range as.Rhs {
+						w.scanLits(e, caseS)
+					}
+				}
+			}
+			w.walkStmts(cc.Body, caseS)
+			if first {
+				*s = *caseS
+				first = false
+			} else {
+				if caseS.terminated && !s.terminated {
+					// keep s
+				} else if s.terminated && !caseS.terminated {
+					*s = *caseS
+				} else {
+					s.merge(caseS)
+				}
+			}
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init, s)
+		}
+		if st.Cond != nil {
+			w.scanExpr(st.Cond, s)
+		}
+		body := s.clone()
+		w.walkStmt(st.Body, body)
+		if st.Post != nil && !body.terminated {
+			w.walkStmt(st.Post, body)
+		}
+		body.terminated = false // loops may exit via the condition
+		s.merge(body)
+	case *ast.RangeStmt:
+		w.scanExpr(st.X, s)
+		if tv, ok := w.p.Info.Types[st.X]; ok && tv.Type != nil {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				w.blockingOp(s, st.For, "range over a channel")
+			}
+		}
+		body := s.clone()
+		w.walkStmt(st.Body, body)
+		body.terminated = false
+		s.merge(body)
+	}
+}
+
+// walkCases handles switch and type-switch statements.
+func (w *lockWalker) walkCases(stmt ast.Stmt, s *lockState) {
+	var body *ast.BlockStmt
+	switch st := stmt.(type) {
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init, s)
+		}
+		if st.Tag != nil {
+			w.scanExpr(st.Tag, s)
+		}
+		body = st.Body
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init, s)
+		}
+		body = st.Body
+	}
+	base := s.clone()
+	merged := s.clone()
+	for _, cl := range body.List {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		caseS := base.clone()
+		w.walkStmts(cc.Body, caseS)
+		merged.merge(caseS)
+	}
+	*s = *merged
+}
+
+// scanExpr looks inside one expression for mutex operations, blocking
+// operations, and calls to blocking functions, and analyzes any function
+// literals with fresh state.
+func (w *lockWalker) scanExpr(e ast.Expr, s *lockState) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w2 := &lockWalker{p: w.p, fs: w.fs, unlockedSomewhere: unlockedMutexes(n.Body)}
+			w2.walkStmts(n.Body.List, newLockState())
+			w.findings = append(w.findings, w2.findings...)
+			return false
+		case *ast.SelectStmt:
+			// A select nested in an expression position can't happen in
+			// Go, but guard anyway.
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				w.blockingOp(s, n.OpPos, "channel receive")
+			}
+		case *ast.CallExpr:
+			w.handleCall(n, s)
+			// Arguments may contain literals/receives; keep walking
+			// except into the callee selector (handled above).
+			return true
+		}
+		return true
+	})
+}
+
+// scanLits analyzes only the function literals under n with fresh state,
+// without treating anything as executed on this path.
+func (w *lockWalker) scanLits(n ast.Node, s *lockState) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if lit, ok := m.(*ast.FuncLit); ok {
+			w2 := &lockWalker{p: w.p, fs: w.fs, unlockedSomewhere: unlockedMutexes(lit.Body)}
+			w2.walkStmts(lit.Body.List, newLockState())
+			w.findings = append(w.findings, w2.findings...)
+			return false
+		}
+		return true
+	})
+}
+
+// handleCall updates lock state for Lock/Unlock and checks every other
+// call for (transitive) blocking while a mutex is held.
+func (w *lockWalker) handleCall(call *ast.CallExpr, s *lockState) {
+	if key, op := mutexOp(call); op != "" {
+		if w.isMutexRecv(call) {
+			switch op {
+			case "Lock", "RLock":
+				s.held[key] = call.Lparen
+				s.need[key] = call.Lparen
+			case "Unlock", "RUnlock":
+				delete(s.held, key)
+				delete(s.need, key)
+			}
+			return
+		}
+	}
+	if len(s.held) == 0 {
+		return
+	}
+	if desc := blockingStdCall(w.p, call); desc != "" {
+		w.blockingOp(s, call.Lparen, desc)
+		return
+	}
+	for _, callee := range w.callees(call) {
+		if bf, ok := w.fs.Blocking(callee); ok {
+			w.report(s, call.Lparen, "call to "+shortFuncName(callee)+", which blocks ("+bf.Desc+")")
+			return
+		}
+	}
+}
+
+// isMutexRecv confirms the receiver of a Lock/Unlock-shaped call really
+// is a sync mutex (or embeds one via promotion).
+func (w *lockWalker) isMutexRecv(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := w.p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	return fn.Pkg() != nil && fn.Pkg().Path() == "sync"
+}
+
+// callees resolves a call to its possible module targets: the static
+// callee, signature-compatible address-taken functions for function
+// values, or interface implementers.
+func (w *lockWalker) callees(call *ast.CallExpr) []*types.Func {
+	fun := ast.Unparen(call.Fun)
+	if tv, ok := w.p.Info.Types[fun]; ok && tv.IsType() {
+		return nil
+	}
+	switch f := fun.(type) {
+	case *ast.Ident:
+		if fn, ok := w.p.Info.Uses[f].(*types.Func); ok {
+			return []*types.Func{fn}
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := w.p.Info.Selections[f]; ok && sel.Kind() == types.MethodVal {
+			if iface, ok := sel.Recv().Underlying().(*types.Interface); ok {
+				return w.fs.IfaceCallees(iface, f.Sel.Name)
+			}
+		}
+		if fn, ok := w.p.Info.Uses[f.Sel].(*types.Func); ok {
+			return []*types.Func{fn}
+		}
+	}
+	if tv, ok := w.p.Info.Types[fun]; ok && tv.Type != nil {
+		if sig, ok := tv.Type.Underlying().(*types.Signature); ok {
+			return w.fs.DynCallees(sig)
+		}
+	}
+	return nil
+}
+
+// blockingOp reports a blocking operation performed while any mutex is
+// held.
+func (w *lockWalker) blockingOp(s *lockState, pos token.Pos, what string) {
+	if len(s.held) == 0 {
+		return
+	}
+	w.report(s, pos, what)
+}
+
+func (w *lockWalker) report(s *lockState, pos token.Pos, what string) {
+	w.findings = append(w.findings, Finding{
+		Rule: "locksafe", Pos: w.p.position(pos),
+		Message: "mutex " + quote(strings.Join(s.heldKeys(), ", ")) + " held across blocking operation: " + what +
+			"; unlock before blocking or make the operation non-blocking",
+	})
+}
+
+// checkReturn flags a return that leaves a mutex locked in a function
+// that unlocks it on other paths.
+func (w *lockWalker) checkReturn(s *lockState, pos token.Pos) {
+	for _, key := range needKeys(s) {
+		if !w.unlockedSomewhere[key] {
+			continue // lock helper: never unlocks, caller owns the mutex
+		}
+		w.findings = append(w.findings, Finding{
+			Rule: "locksafe", Pos: w.p.position(pos),
+			Message: "return leaves mutex " + quote(key) + " locked while other paths unlock it; add the missing unlock (or defer it)",
+		})
+	}
+}
+
+func needKeys(s *lockState) []string {
+	var keys []string
+	for k := range s.need {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// DynCallees returns every module function whose address is taken and
+// whose signature is identical to sig — the conservative resolution of a
+// call through a function value.
+func (fs *FactSet) DynCallees(sig *types.Signature) []*types.Func {
+	var out []*types.Func
+	for _, fn := range fs.cg.addrOrder {
+		if s, ok := fn.Type().(*types.Signature); ok && types.Identical(s, sig) {
+			out = append(out, fn)
+		}
+	}
+	return out
+}
+
+// IfaceCallees returns the named method of every module type implementing
+// iface.
+func (fs *FactSet) IfaceCallees(iface *types.Interface, name string) []*types.Func {
+	return fs.cg.implementers(iface, name)
+}

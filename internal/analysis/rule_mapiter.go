@@ -46,20 +46,32 @@ func (r *MapIterRule) Check(p *Pass) []Finding {
 			continue
 		}
 		walkFuncs(sf.AST, func(fd *ast.FuncDecl) {
-			if fd.Body == nil {
-				return
-			}
-			sorted := sortedVars(fd.Body)
-			ast.Inspect(fd.Body, func(n ast.Node) bool {
-				rs, ok := n.(*ast.RangeStmt)
-				if !ok || !r.isMapRange(p, rs) {
-					return true
-				}
-				r.checkBody(p, rs.Body, sorted, &out)
-				return true
-			})
+			out = append(out, mapIterEscapes(p, fd)...)
 		})
 	}
+	return out
+}
+
+// mapIterEscapes runs the map-range escape analysis over one function
+// declaration and returns its findings. MapIterRule reports them
+// directly; detcheck re-uses the same positions as per-function
+// nondeterminism-source facts, so the two rules can never disagree about
+// what an escaping map iteration is.
+func mapIterEscapes(p *Pass, fd *ast.FuncDecl) []Finding {
+	if fd.Body == nil {
+		return nil
+	}
+	var r MapIterRule
+	var out []Finding
+	sorted := sortedVars(fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok || !r.isMapRange(p, rs) {
+			return true
+		}
+		r.checkBody(p, rs.Body, sorted, &out)
+		return true
+	})
 	return out
 }
 

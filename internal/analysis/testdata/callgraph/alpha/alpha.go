@@ -1,0 +1,24 @@
+// Package alpha is the callee side of the call-graph fixture: a plain
+// function, a method, an interface implemented in the sibling package,
+// and a function that reaches a nondeterminism source.
+package alpha
+
+import "time"
+
+// Doer is implemented in package beta; calls through it must resolve to
+// every module implementation, wherever declared.
+type Doer interface {
+	Do()
+}
+
+// Leaf is a plain cross-package call target.
+func Leaf() {}
+
+// Clock reaches a nondeterminism source directly.
+func Clock() time.Time { return time.Now() }
+
+// T carries a method-call target.
+type T struct{}
+
+// M is a method edge target.
+func (T) M() {}

@@ -1,0 +1,61 @@
+// Package beta is the caller side of the call-graph fixture: one
+// function per edge mode, a mutual-recursion cycle, and an annotated
+// root whose taint walk must terminate on that cycle.
+package beta
+
+import "example.com/cg/alpha"
+
+// Static calls a package function and a concrete method directly.
+func Static() {
+	alpha.Leaf()
+	var t alpha.T
+	t.M()
+}
+
+// Dynamic calls through a function value: one ref edge for taking the
+// value, one dynamic edge resolved by signature identity against the
+// address-taken set.
+func Dynamic() {
+	f := alpha.Leaf
+	f()
+}
+
+// Via calls through an interface; edges go to the matching method of
+// every module type implementing it.
+func Via(d alpha.Doer) {
+	d.Do()
+}
+
+// Impl satisfies alpha.Doer.
+type Impl struct{}
+
+// Do is the interface-resolved target.
+func (Impl) Do() {}
+
+// Ping and Pong are mutually recursive; taint propagation must
+// terminate on the cycle instead of revisiting it forever.
+func Ping(n int) {
+	if n > 0 {
+		Pong(n - 1)
+	}
+}
+
+// Pong closes the cycle and also reaches the nondeterminism source.
+func Pong(n int) {
+	alpha.Clock()
+	Ping(n)
+}
+
+// Spawn exercises the go and defer edge modes.
+func Spawn() {
+	go alpha.Leaf()
+	defer alpha.Leaf()
+}
+
+// Root is the annotated entry point: its only path to time.Now runs
+// through the Ping/Pong cycle.
+//
+//geolint:deterministic
+func Root() {
+	Ping(3)
+}

@@ -1,0 +1,125 @@
+// Package fixture exercises the interprocedural determinism rule: roots
+// reaching every catalog source directly, transitively, through cycles,
+// and via go edges, plus the clean patterns that must stay silent.
+package fixture
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+)
+
+// DirectClock reads the wall clock in its own body.
+//
+//geolint:deterministic
+func DirectClock() time.Duration { // want detcheck
+	start := time.Now()
+	return time.Since(start)
+}
+
+// Transitive reaches the global rand stream through a helper chain.
+//
+//geolint:deterministic
+func Transitive() int { // want detcheck
+	return helperA()
+}
+
+func helperA() int { return helperB() }
+
+func helperB() int { return rand.Intn(10) }
+
+// CycleEnv reaches the environment through mutual recursion; the walk
+// must terminate on the cycle and still report the chain.
+//
+//geolint:deterministic
+func CycleEnv(n int) string { // want detcheck
+	return cycA(n)
+}
+
+func cycA(n int) string {
+	if n == 0 {
+		return os.Getenv("HOME")
+	}
+	return cycB(n - 1)
+}
+
+func cycB(n int) string { return cycA(n) }
+
+// MapOrder lets map iteration order escape through formatted output —
+// the mapiter analysis reused as a per-function source fact.
+//
+//geolint:deterministic
+func MapOrder(m map[string]int) { // want detcheck
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+
+// FanIn reduces two worker channels in arrival order.
+//
+//geolint:deterministic
+func FanIn(a, b <-chan int) int { // want detcheck
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// LoopRecv reaches an arrival-order fold through a go edge.
+//
+//geolint:deterministic
+func LoopRecv(ch <-chan int) { // want detcheck
+	go drain(ch)
+}
+
+func drain(ch <-chan int) {
+	total := 0
+	for i := 0; i < 3; i++ {
+		total += <-ch
+	}
+	_ = total
+}
+
+// CleanSeeded draws from an injected seeded generator — the approved
+// pattern; the rand constructors are not sources and methods on the
+// injected *rand.Rand are not package-level draws.
+//
+//geolint:deterministic
+func CleanSeeded() int {
+	rng := rand.New(rand.NewSource(1))
+	return rng.Intn(10)
+}
+
+// CleanViaBoundary calls an audited boundary function; taint stops at
+// the boundary instead of propagating out of it.
+//
+//geolint:deterministic
+func CleanViaBoundary() int64 {
+	return auditedClock()
+}
+
+// auditedClock is deliberately nondeterministic and says so.
+//
+//geolint:detsource metrics timestamp only, never an input to placement
+func auditedClock() int64 { return time.Now().UnixNano() }
+
+// CleanViaExcuse excuses one timing line; the rest of the body stays
+// under scrutiny.
+//
+//geolint:deterministic
+func CleanViaExcuse() int {
+	start := time.Now() //geolint:detsource wall-clock overhead measurement, result never reaches the return value
+	_ = start
+	return 4
+}
+
+// IgnoredRoot reaches a source but carries a justified rule-level
+// suppression on the reported line.
+//
+//geolint:deterministic
+func IgnoredRoot() time.Time { //geolint:ignore detcheck fixture demonstrating root-level suppression
+	return time.Now()
+}

@@ -1,0 +1,110 @@
+// Package fixture exercises the lock-discipline rule: mutexes held
+// across direct and transitive blocking operations, an unlock missing on
+// an early return, by-value mutex copies, and the disciplined patterns
+// that must stay silent.
+package fixture
+
+import (
+	"net/http"
+	"sync"
+)
+
+// store is the service-tier shape under test.
+type store struct {
+	mu sync.Mutex
+	m  map[string]int
+	ch chan int
+	wg sync.WaitGroup
+}
+
+// SendLocked parks on a channel send while holding the mutex.
+func (s *store) SendLocked(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- v // want locksafe
+}
+
+// WaitLocked waits on the group while holding the mutex.
+func (s *store) WaitLocked() {
+	s.mu.Lock()
+	s.wg.Wait() // want locksafe
+	s.mu.Unlock()
+}
+
+// FetchLocked reaches an HTTP round-trip through a helper; the blocking
+// fact arrives over the call graph, not from this body.
+func (s *store) FetchLocked() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return fetch() // want locksafe
+}
+
+func fetch() error {
+	_, err := http.Get("http://example.com/")
+	return err
+}
+
+// Get forgets the unlock on the missing-key path.
+func (s *store) Get(k string) int {
+	s.mu.Lock()
+	v, ok := s.m[k]
+	if !ok {
+		return -1 // want locksafe
+	}
+	s.mu.Unlock()
+	return v
+}
+
+// Snapshot's value receiver copies the embedded mutex.
+func (s store) Snapshot() int { // want locksafe
+	return len(s.m)
+}
+
+// merge takes the mutex-bearing struct by value as a parameter.
+func merge(a store, b int) int { // want locksafe
+	return len(a.m) + b
+}
+
+// copyGuard copies the mutex into a local, which guards nothing.
+func (s *store) copyGuard() {
+	mu := s.mu // want locksafe
+	mu.Lock()
+	mu.Unlock()
+}
+
+// TrySend never parks: the select has a default case.
+func (s *store) TrySend(v int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// GetOK unlocks on every path.
+func (s *store) GetOK(k string) (int, bool) {
+	s.mu.Lock()
+	v, ok := s.m[k]
+	if !ok {
+		s.mu.Unlock()
+		return 0, false
+	}
+	s.mu.Unlock()
+	return v, true
+}
+
+// lockForCaller never unlocks — a lock helper whose contract is to
+// return with the mutex held; not a missing unlock.
+func (s *store) lockForCaller() {
+	s.mu.Lock()
+}
+
+// WaitIgnored blocks while locked but documents why that is safe here.
+func (s *store) WaitIgnored() {
+	s.mu.Lock()
+	s.wg.Wait() //geolint:ignore locksafe fixture demonstrating justified suppression
+	s.mu.Unlock()
+}

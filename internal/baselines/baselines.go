@@ -38,6 +38,8 @@ type Random struct {
 func (r *Random) Name() string { return "Baseline" }
 
 // Map implements core.Mapper.
+//
+//geolint:deterministic
 func (r *Random) Map(p *core.Problem) (core.Placement, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -60,6 +62,8 @@ type Greedy struct{}
 func (g *Greedy) Name() string { return "Greedy" }
 
 // Map implements core.Mapper.
+//
+//geolint:deterministic
 func (g *Greedy) Map(p *core.Problem) (core.Placement, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -174,6 +178,8 @@ type MPIPP struct {
 func (m *MPIPP) Name() string { return "MPIPP" }
 
 // Map implements core.Mapper.
+//
+//geolint:deterministic
 func (m *MPIPP) Map(p *core.Problem) (core.Placement, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -321,6 +327,8 @@ type MonteCarlo struct {
 func (mc *MonteCarlo) Name() string { return "MonteCarlo" }
 
 // Map implements core.Mapper.
+//
+//geolint:deterministic
 func (mc *MonteCarlo) Map(p *core.Problem) (core.Placement, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err

@@ -66,7 +66,11 @@ const MaxKappa = 8
 func (g *GeoMapper) Name() string { return "Geo-distributed" }
 
 // Map implements Mapper. It returns the best placement found across all
-// examined group orders.
+// examined group orders. The result is byte-identical for identical
+// problems at any worker count — the contract TestSeedDeterminism and the
+// serve-smoke digest gate enforce.
+//
+//geolint:deterministic
 func (g *GeoMapper) Map(p *Problem) (Placement, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -142,7 +146,7 @@ func (g *GeoMapper) searchOrders(p *Problem, groups [][]int) (Placement, units.C
 	total := stats.FactorialInt(len(groups))
 	workers := g.Workers
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		workers = runtime.GOMAXPROCS(0) //geolint:detsource worker count only; the rank-range reduction makes the result identical at any count
 	}
 	if workers > total {
 		workers = total

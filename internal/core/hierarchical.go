@@ -38,6 +38,8 @@ type HierarchicalGeoMapper struct {
 func (h *HierarchicalGeoMapper) Name() string { return "Geo-hierarchical" }
 
 // Map implements Mapper.
+//
+//geolint:deterministic
 func (h *HierarchicalGeoMapper) Map(p *Problem) (Placement, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err

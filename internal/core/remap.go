@@ -63,6 +63,8 @@ type RemapResult struct {
 //
 // The report's DeadSites and DegradedPairs drive the decision; a nil or
 // fault-free report returns the placement unchanged.
+//
+//geolint:deterministic
 func Remap(p *Problem, current Placement, rep *faults.Report, opt RemapOptions) (*RemapResult, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err

@@ -34,7 +34,7 @@ func OrderSearch(cfg Config) (*Report, error) {
 	}
 	workers := cfg.Workers
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		workers = runtime.GOMAXPROCS(0) //geolint:detsource worker count only; the experiment asserts parallel == serial placements byte-for-byte
 	}
 	if workers < 2 {
 		// On a single-core host GOMAXPROCS resolves to 1, which would make
@@ -84,7 +84,7 @@ func OrderSearch(cfg Config) (*Report, error) {
 			)
 		}
 	}
-	rep.AddNote("parallel workers = %d, GOMAXPROCS = %d, host cores = %d", workers, runtime.GOMAXPROCS(0), runtime.NumCPU())
+	rep.AddNote("parallel workers = %d, GOMAXPROCS = %d, host cores = %d", workers, runtime.GOMAXPROCS(0), runtime.NumCPU()) //geolint:detsource host metadata recorded in the report notes, never in placements
 	rep.AddNote("identical = parallel placement byte-equal to serial (deterministic reduction)")
 	return rep, nil
 }

@@ -59,6 +59,8 @@ func expOrder(id string) int {
 }
 
 // Run executes the experiment with the given identifier.
+//
+//geolint:deterministic
 func Run(id string, cfg Config) (*Report, error) {
 	fn, ok := registry[id]
 	if !ok {
@@ -68,6 +70,8 @@ func Run(id string, cfg Config) (*Report, error) {
 }
 
 // RunAll executes every experiment in order and returns the reports.
+//
+//geolint:deterministic
 func RunAll(cfg Config) ([]*Report, error) {
 	var out []*Report
 	for _, id := range IDs() {

@@ -18,6 +18,8 @@ import (
 // version itself. Two requests with the same fingerprint are guaranteed
 // to produce bit-identical results, which is what lets the cache and the
 // singleflight layer return one request's answer to another.
+//
+//geolint:deterministic
 func fingerprint(r *MapRequest, snapshotVersion uint64) string {
 	h := sha256.New()
 	writeU64(h, snapshotVersion)
@@ -72,6 +74,8 @@ func fingerprint(r *MapRequest, snapshotVersion uint64) string {
 
 // placementDigest is the canonical SHA-256 of a placement vector,
 // exposed in responses so clients can assert determinism cheaply.
+//
+//geolint:deterministic
 func placementDigest(pl core.Placement) string {
 	h := sha256.New()
 	for _, s := range pl {
