@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race faults serve-smoke bench-orders check
+.PHONY: all build vet lint test race faults serve-smoke regauge-smoke bench-orders check
 
 all: check
 
@@ -22,10 +22,11 @@ test:
 
 # Race-detector pass over the packages that spawn goroutines (the virtual
 # MPI scheduler, the network simulator, the mapping service's pool/
-# cache/snapshot-store, and the core mapper's parallel order search),
-# plus the analysis loader's concurrent type-check waves.
+# cache/snapshot-store, the core mapper's parallel order search, and the
+# re-gauging control loop), plus the analysis loader's concurrent
+# type-check waves.
 race:
-	$(GO) test -race ./internal/mpi/... ./internal/netsim/... ./internal/service/... ./internal/core/...
+	$(GO) test -race ./internal/mpi/... ./internal/netsim/... ./internal/service/... ./internal/core/... ./internal/regauge/...
 	$(GO) test -race -run TestLoadParallelDeterministic ./internal/analysis
 
 # Fault-injection smoke: replay LU through the FlakyWAN preset and run the
@@ -40,6 +41,13 @@ faults:
 serve-smoke:
 	./scripts/serve_smoke.sh
 
+# Re-gauging smoke: boot geomapd with the closed calibration loop live
+# against FlakyWAN at a fast timescale, and require at least one
+# automatic snapshot publication, at least one hysteresis-suppressed
+# remap, and a clean drain that stops the loop.
+regauge-smoke:
+	./scripts/regauge_smoke.sh
+
 # Serial-vs-parallel order-search baseline: full-scale sweep (κ = 6..8,
 # N = 64/256) written to results/BENCH_orders.json. Speedup depends on
 # host core count, which the report records.
@@ -47,4 +55,4 @@ bench-orders:
 	$(GO) run ./cmd/geobench -exp orders -out results -json
 	cp results/orders.json results/BENCH_orders.json
 
-check: build vet lint test race faults serve-smoke
+check: build vet lint test race faults serve-smoke regauge-smoke

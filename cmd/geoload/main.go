@@ -2,8 +2,10 @@
 // Each of -c workers repeatedly draws the next request from a
 // deterministic mix of cached (a small pool of repeating requests),
 // novel (unique seed per request), and constrained (random pins)
-// mapping requests, posts it, and records the latency. The run reports
-// throughput, latency percentiles, outcome counts, and a placement
+// mapping requests, posts it — retrying 503 pool-shed responses behind
+// capped, jittered exponential backoff — and records the latency. The
+// run reports throughput, latency percentiles, outcome counts (with
+// retries tallied separately from failures), and a placement
 // digest folded over every response in request order — two runs with
 // the same -seed against equivalent servers must print the same digest,
 // which is how the serve-smoke CI target asserts end-to-end
@@ -23,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"sort"
@@ -32,8 +35,10 @@ import (
 	"time"
 
 	"geoprocmap/internal/buildinfo"
+	"geoprocmap/internal/faults"
 	"geoprocmap/internal/service"
 	"geoprocmap/internal/stats"
+	"geoprocmap/internal/units"
 )
 
 func main() {
@@ -48,6 +53,8 @@ func main() {
 		cachedPool  = flag.Int("pool", 4, "distinct requests in the cached pool")
 		seed        = flag.Int64("seed", 1, "random seed for the request stream")
 		timeout     = flag.Duration("timeout", 60*time.Second, "per-request HTTP timeout")
+		retries     = flag.Int("retries", 4, "max retries per request after a 503 pool-shed response")
+		retryBase   = flag.Duration("retry-base", 50*time.Millisecond, "base retry backoff (doubles per attempt, ±25% jitter, capped at 16×)")
 		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -89,14 +96,6 @@ func main() {
 		reqs[i] = r
 	}
 
-	type outcome struct {
-		status  int
-		cached  bool
-		deduped bool
-		digest  string
-		seconds float64
-		err     error
-	}
 	results := make([]outcome, *requests)
 	client := &http.Client{Timeout: *timeout}
 	next := make(chan int, *concurrency)
@@ -104,10 +103,14 @@ func main() {
 	start := time.Now()
 	for w := 0; w < *concurrency; w++ {
 		wg.Add(1)
+		// Jitter draws come from a per-worker source: retry timing may
+		// vary run to run, but the digest folds response bytes in request
+		// order, so retried runs stay byte-identical per seed.
+		jitter := stats.NewRand(*seed + int64(w))
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				results[i] = post(client, *url, &reqs[i])
+				results[i] = post(client, *url, &reqs[i], *retries, *retryBase, jitter)
 			}
 		}()
 	}
@@ -119,11 +122,12 @@ func main() {
 	elapsed := time.Since(start)
 
 	var (
-		ok, cached, deduped, failed int
-		lats                        []float64
-		combined                    = sha256.New()
+		ok, cached, deduped, failed, retried int
+		lats                                 []float64
+		combined                             = sha256.New()
 	)
 	for i, res := range results {
+		retried += res.retries
 		if res.err != nil || res.status != http.StatusOK {
 			failed++
 			if failed <= 3 { // show the first few failures, not a flood
@@ -150,7 +154,7 @@ func main() {
 
 	fmt.Printf("geoload: %d requests in %.2fs (%.0f req/s), concurrency %d, seed %d\n",
 		*requests, elapsed.Seconds(), float64(*requests)/elapsed.Seconds(), *concurrency, *seed)
-	fmt.Printf("  ok %d, cached %d, deduped %d, failed %d\n", ok, cached, deduped, failed)
+	fmt.Printf("  ok %d, cached %d, deduped %d, retried %d, failed %d\n", ok, cached, deduped, retried, failed)
 	if len(lats) > 0 {
 		sort.Float64s(lats)
 		fmt.Printf("  latency ms: p50 %.2f  p90 %.2f  p99 %.2f  max %.2f\n",
@@ -162,47 +166,63 @@ func main() {
 	}
 }
 
-// post issues one mapping request and decodes the pieces the report
-// needs.
-func post(client *http.Client, base string, req *service.MapRequest) (out struct {
+// outcome is one request's result as the report tallies it.
+type outcome struct {
 	status  int
 	cached  bool
 	deduped bool
+	retries int
 	digest  string
 	seconds float64
 	err     error
-}) {
+}
+
+// post issues one mapping request and decodes the pieces the report
+// needs. A 503 means the daemon shed the request off a full solve queue
+// — transient by construction — so post retries it up to maxRetries
+// times behind capped exponential backoff with jitter; any other status
+// is final. The recorded latency spans all attempts including the waits.
+func post(client *http.Client, base string, req *service.MapRequest, maxRetries int, retryBase time.Duration, jitter *rand.Rand) (out outcome) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		out.err = err
 		return
 	}
+	base503 := units.Seconds(retryBase.Seconds())
 	t0 := time.Now()
-	resp, err := client.Post(base+"/v1/map", "application/json", bytes.NewReader(body))
-	out.seconds = time.Since(t0).Seconds()
-	if err != nil {
-		out.err = err
+	defer func() { out.seconds = time.Since(t0).Seconds() }()
+	for attempt := 0; ; attempt++ {
+		resp, err := client.Post(base+"/v1/map", "application/json", bytes.NewReader(body))
+		if err != nil {
+			out.err = err
+			return
+		}
+		out.status = resp.StatusCode
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close() //geolint:ignore errcheck best-effort close of a response body already read to EOF
+		if err != nil {
+			out.err = err
+			return
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable && attempt < maxRetries {
+			out.retries++
+			wait := faults.Backoff(attempt, base503, base503.Scale(16), jitter)
+			time.Sleep(time.Duration(wait.Float() * float64(time.Second)))
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			return
+		}
+		var mr service.MapResponse
+		if err := json.Unmarshal(data, &mr); err != nil {
+			out.err = err
+			return
+		}
+		out.cached = mr.Cached
+		out.deduped = mr.Deduped
+		out.digest = mr.Digest
 		return
 	}
-	defer resp.Body.Close() //geolint:ignore errcheck best-effort close of a response body already read to EOF
-	out.status = resp.StatusCode
-	data, err := io.ReadAll(resp.Body)
-	if err != nil {
-		out.err = err
-		return
-	}
-	if resp.StatusCode != http.StatusOK {
-		return
-	}
-	var mr service.MapResponse
-	if err := json.Unmarshal(data, &mr); err != nil {
-		out.err = err
-		return
-	}
-	out.cached = mr.Cached
-	out.deduped = mr.Deduped
-	out.digest = mr.Digest
-	return
 }
 
 // parseMix parses "a,b,c" fractions summing to ~1.

@@ -9,12 +9,21 @@
 // (-solver-workers); the pool size × per-solve product is clamped to
 // GOMAXPROCS so the daemon never oversubscribes the machine.
 //
+// With -regauge the daemon also runs the closed calibration loop
+// (internal/regauge): periodic reduced-budget probes of the modeled
+// cloud — optionally against a -faults schedule — publish drift-refreshed
+// snapshots into the store and re-map cached placements when the
+// predicted saving amortizes the migration cost. /healthz reports the
+// loop's mode and the snapshot's age, degrading to 503 past
+// -max-staleness.
+//
 // Usage:
 //
 //	geomapd                                    # paper's 4-region EC2 cloud, :8080
 //	geomapd -addr 127.0.0.1:0 -addr-file /tmp/geomapd.addr
 //	geomapd -regions us-east,eu-west -nodes 32 -workers 8
 //	geomapd -calib -days 3                     # bootstrap snapshot from calibration
+//	geomapd -regauge -faults FlakyWAN -regauge-timescale 300
 //
 // SIGTERM or SIGINT starts a graceful drain: the listener stops
 // accepting, in-flight requests finish, the solve queue empties, and
@@ -37,8 +46,11 @@ import (
 
 	"geoprocmap/internal/buildinfo"
 	"geoprocmap/internal/calib"
+	"geoprocmap/internal/faults"
 	"geoprocmap/internal/netmodel"
+	"geoprocmap/internal/regauge"
 	"geoprocmap/internal/service"
+	"geoprocmap/internal/units"
 )
 
 func main() {
@@ -60,6 +72,18 @@ func main() {
 		maxProcs    = flag.Int("max-procs", 4096, "largest accepted process count")
 		deadline    = flag.Duration("deadline", 30*time.Second, "default per-request solve deadline")
 		showVersion = flag.Bool("version", false, "print version and exit")
+
+		faultSpec   = flag.String("faults", "", "fault schedule the re-gauging probes run against: preset name (FlakyWAN, SiteBlackout, DiurnalDrift) or JSON file")
+		maxStale    = flag.Duration("max-staleness", 0, "snapshot age past which /healthz answers 503 (0 = report age only)")
+		regaugeOn   = flag.Bool("regauge", false, "run the closed-loop re-gauging control loop")
+		rgInterval  = flag.Duration("regauge-interval", 30*time.Second, "schedule time between gauge passes")
+		rgTimescale = flag.Float64("regauge-timescale", 1, "schedule seconds per wall second (e.g. 300 ticks a 30 s interval every 100 ms)")
+		rgDrift     = flag.Float64("regauge-drift", 0.15, "relative per-pair change that counts as drift")
+		rgCooldown  = flag.Duration("regauge-cooldown", 0, "per-placement cooldown after a triggered remap (0 = 3× interval)")
+		rgSafety    = flag.Float64("regauge-safety", 2, "remap only when predicted saving > migration time × this factor")
+		rgSamples   = flag.Int("regauge-samples", 3, "per-pair probe budget of one gauge pass")
+		rgWindow    = flag.Int("regauge-window", 3, "per-pair smoothing window (passes)")
+		rgMaxFail   = flag.Int("regauge-max-failures", 3, "consecutive failed passes before publication freezes")
 	)
 	flag.Parse()
 	if *showVersion {
@@ -95,6 +119,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	sched, err := faults.FromSpec(*faultSpec, cloud.M(), *seed)
+	if err != nil {
+		fatal(err)
+	}
 
 	logger := log.New(os.Stderr, "geomapd: ", log.LstdFlags)
 	srv, err := service.NewServer(service.Config{
@@ -105,10 +133,50 @@ func main() {
 		CacheSize:       *cacheSize,
 		MaxProcs:        *maxProcs,
 		DefaultDeadline: *deadline,
+		MaxStaleness:    *maxStale,
 		Logf:            logger.Printf,
 	})
 	if err != nil {
 		fatal(err)
+	}
+
+	// The re-gauging loop runs until drain: its context is cancelled after
+	// the HTTP listener shuts down, and the final counters are not printed
+	// until it has stopped touching the cache.
+	gaugeStop := func() {}
+	if *regaugeOn {
+		g, err := regauge.New(regauge.Config{
+			Cloud:          cloud,
+			Store:          store,
+			Source:         regauge.ServerSource{Server: srv},
+			Faults:         sched,
+			Seed:           *seed,
+			Interval:       units.Seconds(rgInterval.Seconds()),
+			Samples:        *rgSamples,
+			DriftThreshold: *rgDrift,
+			Window:         *rgWindow,
+			SafetyFactor:   *rgSafety,
+			Cooldown:       units.Seconds(rgCooldown.Seconds()),
+			SolverWorkers:  *solverWkrs,
+			MaxFailures:    *rgMaxFail,
+			Timescale:      *rgTimescale,
+			Logf:           logger.Printf,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		srv.RegisterStatus("regauge", g.StatusProbe)
+		gctx, gcancel := context.WithCancel(context.Background())
+		gdone := make(chan struct{})
+		go func() {
+			defer close(gdone)
+			g.Run(gctx)
+		}()
+		gaugeStop = func() {
+			gcancel()
+			<-gdone
+			logger.Printf("regauge: stopped")
+		}
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -148,8 +216,10 @@ func main() {
 			fatal(err)
 		}
 	}
-	// The listener is closed and in-flight handlers have returned; drain
-	// whatever the pool still holds before reporting final counters.
+	// The listener is closed and in-flight handlers have returned; stop
+	// the gauging loop and drain whatever the pool still holds before
+	// reporting final counters.
+	gaugeStop()
 	srv.Close()
 	v := srv.Metrics().Snapshot(0, 0)
 	logger.Printf("drained: %d requests (%d solves, %d cache hits, %d deduped, %d shed)",

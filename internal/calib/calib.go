@@ -66,6 +66,12 @@ type Options struct {
 	// rejection, so transient fault windows cannot skew an estimate that
 	// mostly saw a healthy link.
 	TrimFraction float64
+	// Start offsets every probe onto the fault schedule's clock: sample j
+	// of each pair fires at Start + j × PairProbeSeconds. The zero value
+	// keeps the historical behavior (probing from schedule time 0); the
+	// re-gauging loop sets it to "now" so a reduced-budget pass measures
+	// the WAN as it currently is, not as it was at boot.
+	Start units.Seconds
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -88,6 +94,8 @@ func (o Options) withDefaults() (Options, error) {
 		return o, fmt.Errorf("calib: negative MaxRetries %d", o.MaxRetries)
 	case o.TrimFraction < 0 || o.TrimFraction >= 0.5:
 		return o, fmt.Errorf("calib: TrimFraction %v outside [0, 0.5)", o.TrimFraction)
+	case o.Start < 0:
+		return o, fmt.Errorf("calib: negative Start %v", o.Start)
 	}
 	if o.Days == 0 {
 		o.Days = 3
@@ -143,6 +151,11 @@ type Result struct {
 	// on fewer samples than requested (a fully unreachable pair falls back
 	// to the timeout bound: LT = ProbeTimeout, BT = ProbeBytes/ProbeTimeout).
 	Degraded *mat.Matrix
+	// Unreachable(k, l) is 1 when every sample for the pair was abandoned —
+	// the probes never saw the link up, so LT/BT carry only the timeout
+	// fallback. The re-gauging loop uses full rows of unreachable pairs to
+	// infer dead sites; Degraded is the weaker "some samples lost" flag.
+	Unreachable *mat.Matrix
 	// Retries counts probe attempts beyond each sample's first try.
 	Retries int
 	// FailedSamples counts samples abandoned after MaxRetries.
@@ -195,11 +208,13 @@ func Calibrate(cloud *netmodel.Cloud, opt Options) (*Result, error) {
 	bt := mat.NewSquare(m)
 	variation := mat.NewSquare(m)
 	degraded := mat.NewSquare(m)
+	unreachable := mat.NewSquare(m)
 	res := &Result{
-		LT:        lt,
-		BT:        bt,
-		Variation: variation,
-		Degraded:  degraded,
+		LT:          lt,
+		BT:          bt,
+		Variation:   variation,
+		Degraded:    degraded,
+		Unreachable: unreachable,
 	}
 	samples := o.Days * o.SamplesPerDay
 	latSamples := make([]float64, 0, samples)
@@ -216,7 +231,7 @@ func Calibrate(cloud *netmodel.Cloud, opt Options) (*Result, error) {
 			probes = probes[:0]
 			pairFailed := 0
 			for s := 0; s < samples; s++ {
-				lat1, latP, ok := probePair(k, l, o.PairProbeSeconds.Scale(float64(s)), trueLat, trueBW, noise, o, rng, res)
+				lat1, latP, ok := probePair(k, l, o.Start+o.PairProbeSeconds.Scale(float64(s)), trueLat, trueBW, noise, o, rng, res)
 				if !ok {
 					pairFailed++
 					continue
@@ -232,6 +247,7 @@ func Calibrate(cloud *netmodel.Cloud, opt Options) (*Result, error) {
 				// The pair never answered: the timeout is the only bound
 				// the calibrator observed. Downstream consumers must treat
 				// the pair as unreliable via the Degraded flag.
+				unreachable.Set(k, l, 1)
 				lt.Set(k, l, o.ProbeTimeout.Float())
 				bt.Set(k, l, o.ProbeBytes.Per(o.ProbeTimeout).Float())
 				continue

@@ -1,0 +1,107 @@
+package calib
+
+import (
+	"testing"
+
+	"geoprocmap/internal/faults"
+	"geoprocmap/internal/netmodel"
+	"geoprocmap/internal/units"
+)
+
+// TestStartOffsetsOntoSchedule pins the re-gauging loop's probe
+// placement: the same reduced-budget pass lands before or inside a
+// fault window purely according to Options.Start. A bandwidth collapse
+// in [100, 200) is invisible to a pass at Start=0 and dominates a pass
+// at Start=150.
+func TestStartOffsetsOntoSchedule(t *testing.T) {
+	cloud, err := netmodel.PaperCloud(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := &faults.Schedule{Name: "window", Events: []faults.Event{
+		{Kind: faults.BandwidthDegrade, Start: 100, End: 200, Src: faults.Wildcard, Dst: faults.Wildcard, Factor: 0.25},
+	}}
+	opts := func(start float64) Options {
+		return Options{
+			Days: 1, SamplesPerDay: 3,
+			PairProbeSeconds: units.Seconds(1),
+			Faults:           sched,
+			Seed:             9,
+			Start:            units.Seconds(start),
+		}
+	}
+	before, err := Calibrate(cloud, opts(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inside, err := Calibrate(cloud, opts(150))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := cloud.M()
+	for k := 0; k < m; k++ {
+		for l := 0; l < m; l++ {
+			if k == l {
+				continue
+			}
+			// Inside the window the estimated bandwidth must reflect the
+			// 4× collapse; a generous 2× bound keeps probe noise out of
+			// the assertion.
+			if ratio := before.BT.At(k, l) / inside.BT.At(k, l); ratio < 2 {
+				t.Errorf("BT(%d,%d): before/inside = %.2f, want the collapse visible (≥ 2)", k, l, ratio)
+			}
+		}
+	}
+	// Negative Start is rejected.
+	if _, err := Calibrate(cloud, Options{Start: units.Seconds(-1)}); err == nil {
+		t.Error("Calibrate accepted a negative Start")
+	}
+}
+
+// TestUnreachableMatrix: a permanent site outage marks exactly the
+// pairs touching the dead site as unreachable — the signal the
+// re-gauging loop turns into dead-site detection.
+func TestUnreachableMatrix(t *testing.T) {
+	cloud, err := netmodel.PaperCloud(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const dead = 2
+	sched := &faults.Schedule{Name: "outage", Events: []faults.Event{
+		{Kind: faults.SiteOutage, Start: 0, Site: dead},
+	}}
+	res, err := Calibrate(cloud, Options{Seed: 5, Faults: sched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unreachable == nil {
+		t.Fatal("Unreachable matrix not populated")
+	}
+	m := cloud.M()
+	for k := 0; k < m; k++ {
+		for l := 0; l < m; l++ {
+			// Every direction touching the dead site fails, the
+			// intra-site diagonal included.
+			touches := k == dead || l == dead
+			want := 0.0
+			if touches {
+				want = 1
+			}
+			if got := res.Unreachable.At(k, l); got != want {
+				t.Errorf("Unreachable(%d,%d) = %v, want %v", k, l, got, want)
+			}
+		}
+	}
+	// A healthy run reports nothing unreachable.
+	healthy, err := Calibrate(cloud, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < m; k++ {
+		for l := 0; l < m; l++ {
+			if healthy.Unreachable.At(k, l) != 0 {
+				t.Errorf("healthy Unreachable(%d,%d) = %v", k, l, healthy.Unreachable.At(k, l))
+			}
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"testing"
+
+	"geoprocmap/internal/regauge"
+)
+
+// TestRegaugeDeterministic is the scenario's reproducibility contract:
+// the same seed, fault schedule, and injected clock produce a
+// byte-identical decision-history digest — published snapshot versions,
+// every remap decision, and the final placement digest — at any Workers
+// setting.
+func TestRegaugeDeterministic(t *testing.T) {
+	run := func(workers int) *RegaugeOutcome {
+		t.Helper()
+		out, err := RunRegauge(RegaugeScenario{Seed: 42, DaySeconds: 480, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(1), run(1)
+	if a.Digest() != b.Digest() {
+		t.Fatalf("same-seed runs diverged:\n%s\n%s", a.Digest(), b.Digest())
+	}
+	c := run(4)
+	if a.Digest() != c.Digest() {
+		t.Fatalf("Workers=1 and Workers=4 diverged:\n%s\n%s", a.Digest(), c.Digest())
+	}
+	if a.FinalDigest != c.FinalDigest {
+		t.Fatalf("final placement digests differ across worker counts")
+	}
+	// A different seed must actually change the history — otherwise the
+	// digest covers nothing.
+	d, err := RunRegauge(RegaugeScenario{Seed: 43, DaySeconds: 480})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest() == d.Digest() {
+		t.Fatal("different seeds produced identical digests")
+	}
+}
+
+// TestRegaugeDiurnalSLO asserts the headline acceptance property: over a
+// day of DiurnalDrift the continuously re-gauged placement beats the
+// stale one at the tail, at least one remap actually triggers, at least
+// one is suppressed by hysteresis, and no target is remapped twice
+// inside its cooldown window.
+func TestRegaugeDiurnalSLO(t *testing.T) {
+	out, err := RunRegauge(RegaugeScenario{Seed: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.RemapsTriggered < 1 {
+		t.Fatalf("remaps triggered = %d, want ≥ 1", out.RemapsTriggered)
+	}
+	if out.SuppressedCooldown+out.SuppressedUneconomic < 1 {
+		t.Fatalf("suppressed = %d, want ≥ 1", out.SuppressedCooldown+out.SuppressedUneconomic)
+	}
+	if stale, re := out.StalePercentile(99), out.RemappedPercentile(99); re >= stale {
+		t.Fatalf("regauged p99 %.3f did not beat stale p99 %.3f", re, stale)
+	}
+	if stale, re := out.StalePercentile(50), out.RemappedPercentile(50); re >= stale {
+		t.Fatalf("regauged p50 %.3f did not beat stale p50 %.3f", re, stale)
+	}
+
+	// Cooldown audit: between a triggered remap for a target and the end
+	// of its cooldown window, no further remap for that target may
+	// trigger (the scenario default cooldown is 3 × interval = 90 s).
+	cooldown := 3 * 30.0
+	lastTrigger := map[string]float64{}
+	for _, pr := range out.Passes {
+		for _, d := range pr.Decisions {
+			if d.Action != regauge.ActionTriggered {
+				continue
+			}
+			at := pr.At.Float()
+			if prev, ok := lastTrigger[d.Target]; ok && at < prev+cooldown {
+				t.Fatalf("target %s remapped at %.0f, inside cooldown from trigger at %.0f", d.Target, at, prev)
+			}
+			lastTrigger[d.Target] = at
+		}
+	}
+}
+
+// TestRegaugeSiteBlackout covers the forced-evacuation path end to end:
+// a blacked-out site's placement is evacuated (cooldown and economics
+// notwithstanding) and the evacuated placement dramatically beats the
+// stale one, which keeps timing out against the dead site.
+func TestRegaugeSiteBlackout(t *testing.T) {
+	out, err := RunRegauge(RegaugeScenario{Preset: "SiteBlackout", Seed: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.RemapsTriggered < 1 {
+		t.Fatalf("remaps triggered = %d, want ≥ 1 forced evacuation", out.RemapsTriggered)
+	}
+	if stale, re := out.StalePercentile(99), out.RemappedPercentile(99); re >= stale/2 {
+		t.Fatalf("evacuated p99 %.3f is not well under stale p99 %.3f", re, stale)
+	}
+}
+
+// TestExtRegaugeReport smoke-checks the geobench table driver in quick
+// mode: both preset rows render with the full column set.
+func TestExtRegaugeReport(t *testing.T) {
+	rep, err := ExtRegauge(Config{Quick: true, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2 presets", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		if len(row) != len(rep.Header) {
+			t.Fatalf("row %v has %d cells, header has %d", row, len(row), len(rep.Header))
+		}
+	}
+}

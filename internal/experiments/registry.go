@@ -31,6 +31,7 @@ var registry = map[string]Func{
 	"manysites":       ExtManySites,
 	"robustness":      ExtRobustness,
 	"orders":          OrderSearch,
+	"regauge":         ExtRegauge,
 }
 
 // IDs returns all experiment identifiers in a stable order (tables first,
@@ -50,7 +51,7 @@ func expOrder(id string) int {
 		"fig3": 10, "fig4": 11, "fig5": 12, "fig6": 13,
 		"fig7": 14, "fig8": 15, "fig9": 16, "fig10": 17,
 		"azure": 20, "contention": 21, "collectives": 22, "multiconstraint": 23, "headline": 24, "manysites": 25,
-		"robustness": 26, "orders": 27,
+		"robustness": 26, "orders": 27, "regauge": 28,
 	}
 	if o, ok := order[id]; ok {
 		return o

@@ -1,0 +1,164 @@
+package faults
+
+import (
+	"testing"
+
+	"geoprocmap/internal/stats"
+	"geoprocmap/internal/units"
+)
+
+// TestBackoffGrowthAndCap pins the un-jittered schedule: base·2^attempt
+// until the cap, then flat at the cap forever.
+func TestBackoffGrowthAndCap(t *testing.T) {
+	base, cap := units.Seconds(0.25), units.Seconds(8)
+	want := []units.Seconds{0.25, 0.5, 1, 2, 4, 8, 8, 8}
+	for attempt, w := range want {
+		if got := Backoff(attempt, base, cap, nil); got != w {
+			t.Errorf("Backoff(%d) = %v, want %v", attempt, got, w)
+		}
+	}
+	// Absurd attempt counts must not overflow past the cap.
+	if got := Backoff(5000, base, cap, nil); got != cap {
+		t.Errorf("Backoff(5000) = %v, want cap %v", got, cap)
+	}
+}
+
+// TestBackoffDefaultsAndClamps covers the parameter guards: non-positive
+// base and cap fall back to the shared defaults, and a negative attempt
+// is treated as the first.
+func TestBackoffDefaultsAndClamps(t *testing.T) {
+	if got := Backoff(0, 0, 0, nil); got != DefaultBackoffBase {
+		t.Errorf("Backoff(0, defaults) = %v, want %v", got, DefaultBackoffBase)
+	}
+	if got := Backoff(100, -1, -1, nil); got != DefaultBackoffCap {
+		t.Errorf("Backoff(100, defaults) = %v, want cap %v", got, DefaultBackoffCap)
+	}
+	if got, want := Backoff(-3, 1, 8, nil), units.Seconds(1); got != want {
+		t.Errorf("Backoff(-3) = %v, want attempt-0 delay %v", got, want)
+	}
+}
+
+// TestBackoffJitterBounds draws many jittered delays and checks every one
+// stays inside the documented ±25% band, and that the same seed
+// reproduces the same sequence.
+func TestBackoffJitterBounds(t *testing.T) {
+	base, cap := units.Seconds(1), units.Seconds(64)
+	for attempt := 0; attempt < 7; attempt++ {
+		nominal := Backoff(attempt, base, cap, nil)
+		rng := stats.NewRand(7)
+		for i := 0; i < 200; i++ {
+			d := Backoff(attempt, base, cap, rng)
+			if d < nominal.Scale(0.75) || d > nominal.Scale(1.25) {
+				t.Fatalf("attempt %d draw %d: %v outside ±25%% of %v", attempt, i, d, nominal)
+			}
+		}
+	}
+	a := Backoff(3, base, cap, stats.NewRand(99))
+	b := Backoff(3, base, cap, stats.NewRand(99))
+	if a != b {
+		t.Errorf("same seed produced different jittered delays: %v vs %v", a, b)
+	}
+}
+
+// TestBackoffTotal checks the cumulative accounting against the sum of
+// individual un-jittered waits.
+func TestBackoffTotal(t *testing.T) {
+	base, cap := units.Seconds(0.25), units.Seconds(8)
+	if got := BackoffTotal(0, base, cap); got != 0 {
+		t.Errorf("BackoffTotal(0) = %v, want 0", got)
+	}
+	var want units.Seconds
+	for i := 0; i < 10; i++ {
+		want += Backoff(i, base, cap, nil)
+		if got := BackoffTotal(i+1, base, cap); got != want {
+			t.Errorf("BackoffTotal(%d) = %v, want %v", i+1, got, want)
+		}
+	}
+}
+
+// TestAttemptsForWait checks the inverse property: the returned n is the
+// smallest with BackoffTotal(n) ≥ wait, zero for non-positive waits, and
+// bounded for absurd waits.
+func TestAttemptsForWait(t *testing.T) {
+	base, cap := units.Seconds(0.25), units.Seconds(8)
+	if got := AttemptsForWait(0, base, cap); got != 0 {
+		t.Errorf("AttemptsForWait(0) = %d, want 0", got)
+	}
+	if got := AttemptsForWait(-5, base, cap); got != 0 {
+		t.Errorf("AttemptsForWait(-5) = %d, want 0", got)
+	}
+	for _, wait := range []units.Seconds{0.1, 0.25, 0.3, 1, 5, 17.6} {
+		n := AttemptsForWait(wait, base, cap)
+		if n < 1 {
+			t.Fatalf("AttemptsForWait(%v) = %d, want ≥ 1", wait, n)
+		}
+		if got := BackoffTotal(n, base, cap); got < wait {
+			t.Errorf("BackoffTotal(%d) = %v < wait %v", n, got, wait)
+		}
+		if n > 1 {
+			if got := BackoffTotal(n-1, base, cap); got >= wait {
+				t.Errorf("BackoffTotal(%d) = %v already covers wait %v; n=%d not minimal", n-1, got, wait, n)
+			}
+		}
+	}
+	// A wait no finite schedule reaches terminates at the 64-attempt guard.
+	if got := AttemptsForWait(units.Seconds(1e12), base, cap); got != 64 {
+		t.Errorf("AttemptsForWait(huge) = %d, want the 64 guard", got)
+	}
+}
+
+// TestHash01RangeAndDeterminism samples the stateless mixer across many
+// key tuples: every draw is in [0,1), identical inputs reproduce, and
+// distinct keys decorrelate (a crude uniformity check on the mean).
+func TestHash01RangeAndDeterminism(t *testing.T) {
+	var sum float64
+	const n = 4000
+	for i := 0; i < n; i++ {
+		v := Hash01(42, int64(i), int64(i*7))
+		if v < 0 || v >= 1 {
+			t.Fatalf("Hash01 draw %d = %v outside [0,1)", i, v)
+		}
+		if v != Hash01(42, int64(i), int64(i*7)) {
+			t.Fatalf("Hash01 not deterministic at key %d", i)
+		}
+		sum += v
+	}
+	if mean := sum / n; mean < 0.45 || mean > 0.55 {
+		t.Errorf("Hash01 mean over %d draws = %v, want ≈ 0.5", n, mean)
+	}
+	if Hash01(1, 2) == Hash01(1, 3) || Hash01(1, 2) == Hash01(4, 2) {
+		t.Error("distinct seed/key tuples collided; mixer is degenerate")
+	}
+	// Key order matters for multi-key tuples (the chained mix is not
+	// commutative across positions).
+	if Hash01(1, 2, 3) == Hash01(1, 3, 2) {
+		t.Error("key order ignored; chained mix collapsed")
+	}
+}
+
+// TestAttemptsCaps checks the deterministic attempt counter: zero loss
+// is a single attempt, certain loss caps at max, and the count is
+// reproducible.
+func TestAttemptsCaps(t *testing.T) {
+	if got := Attempts(1, 2, 0, 8); got != 1 {
+		t.Errorf("Attempts(p=0) = %d, want 1", got)
+	}
+	if got := Attempts(1, 2, -0.5, 8); got != 1 {
+		t.Errorf("Attempts(p<0) = %d, want 1", got)
+	}
+	if got := Attempts(1, 2, 1.0, 5); got != 5 {
+		t.Errorf("Attempts(p=1, max=5) = %d, want the cap 5", got)
+	}
+	if got := Attempts(1, 2, 1.0, 0); got != DefaultMaxAttempts {
+		t.Errorf("Attempts(p=1, max=0) = %d, want default cap %d", got, DefaultMaxAttempts)
+	}
+	for key := int64(0); key < 100; key++ {
+		a := Attempts(9, key, 0.5, 8)
+		if a < 1 || a > 8 {
+			t.Fatalf("Attempts(key=%d) = %d outside [1,8]", key, a)
+		}
+		if a != Attempts(9, key, 0.5, 8) {
+			t.Fatalf("Attempts(key=%d) not deterministic", key)
+		}
+	}
+}

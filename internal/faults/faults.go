@@ -367,39 +367,48 @@ func SiteBlackout(m int, seed int64) *Schedule {
 
 // DiurnalDrift models the paper's Table 2 observation that WAN bandwidth
 // drifts over the day, compressed so one "day" lasts 240 simulated
-// seconds: all cross links cycle through off-peak, peak-congestion (45%
-// bandwidth, 1.8× latency), and shoulder windows for four cycles.
+// seconds. Congestion follows the sun: each site's cross links (both
+// directions) collapse to 45% bandwidth and 1.8× latency during that
+// region's staggered local business window, on top of a mild global
+// off-peak dip early in each cycle. The peak rotating around the regions
+// is what distinguishes drift from uniform scaling — at any moment some
+// region is the wrong place to be, and which one changes over the day.
 func DiurnalDrift(m int, seed int64) *Schedule {
 	s := &Schedule{Name: "DiurnalDrift", Seed: seed}
 	rng := stats.NewRand(seed ^ 0x6472696674) // "drift"
 	const period = 240.0
-	phases := []struct {
-		offset, dur float64
-		bw          float64
-		lat         float64
-	}{
-		{0, 60, 0.90, 1.0},   // early off-peak: mild dip
-		{60, 60, 0.45, 1.8},  // peak congestion
-		{120, 60, 0.70, 1.3}, // shoulder
-		// [180, 240): full bandwidth — no event.
-	}
+	stagger := period / float64(m)
 	for cycle := 0; cycle < 4; cycle++ {
 		base := float64(cycle) * period
-		for _, ph := range phases {
-			// ±5% seeded wobble so cycles are not carbon copies.
-			bw := ph.bw * (1 + 0.05*(2*rng.Float64()-1))
+		// Early off-peak: a mild global dip (all cross links), too small to
+		// count as drift on its own.
+		mild := 0.90 * (1 + 0.05*(2*rng.Float64()-1))
+		if mild > 1 {
+			mild = 1
+		}
+		s.Events = append(s.Events, Event{
+			Kind: BandwidthDegrade, Start: base, End: base + stagger,
+			Src: Wildcard, Dst: Wildcard, Factor: mild,
+		})
+		for site := 0; site < m; site++ {
+			// Site-local peak window, ±5% seeded wobble so cycles are not
+			// carbon copies. Both directions of every cross link touching
+			// the peaking region degrade together.
+			start := base + float64(site)*stagger
+			bw := 0.45 * (1 + 0.05*(2*rng.Float64()-1))
 			if bw > 1 {
 				bw = 1
 			}
-			s.Events = append(s.Events, Event{
-				Kind: BandwidthDegrade, Start: base + ph.offset, End: base + ph.offset + ph.dur,
-				Src: Wildcard, Dst: Wildcard, Factor: bw,
-			})
-			if ph.lat > 1 {
-				s.Events = append(s.Events, Event{
-					Kind: LatencySpike, Start: base + ph.offset, End: base + ph.offset + ph.dur,
-					Src: Wildcard, Dst: Wildcard, Factor: ph.lat,
-				})
+			for _, dir := range []struct{ src, dst int }{{site, Wildcard}, {Wildcard, site}} {
+				s.Events = append(s.Events,
+					Event{
+						Kind: BandwidthDegrade, Start: start, End: start + stagger,
+						Src: dir.src, Dst: dir.dst, Factor: bw,
+					},
+					Event{
+						Kind: LatencySpike, Start: start, End: start + stagger,
+						Src: dir.src, Dst: dir.dst, Factor: 1.8,
+					})
 			}
 		}
 	}

@@ -1,0 +1,66 @@
+package regauge
+
+import (
+	"geoprocmap/internal/core"
+	"geoprocmap/internal/service"
+)
+
+// Target is one placement the gauger re-evaluates after publishing a new
+// snapshot: the request and result that produced it, plus a Problem
+// constructor that rebuilds the optimization problem against an
+// arbitrary snapshot (the freshly published one).
+type Target struct {
+	// Key identifies the target across passes — cooldown deadlines are
+	// tracked per key, so it must be stable for "the same placement"
+	// (the service uses the cache fingerprint).
+	Key     string
+	Request *service.MapRequest
+	Result  *service.MapResult
+	Problem func(snap *service.Snapshot) (*core.Problem, error)
+}
+
+// TargetSource supplies the placements to walk after a publication and
+// applies remapped results back to wherever clients read them. Targets
+// must return a deterministic order for a deterministic request history
+// — the walk order is part of the gauging digest.
+type TargetSource interface {
+	Targets() []Target
+	Apply(t Target, res *service.MapResult) error
+}
+
+// ServerSource adapts a live service.Server: targets are the result
+// cache's (request, result) pairs in recency order, and applied remaps
+// are inserted back into the cache under the new snapshot version so the
+// next identical request hits the refreshed placement.
+type ServerSource struct {
+	Server *service.Server
+}
+
+// Targets implements TargetSource over the server's result cache.
+func (s ServerSource) Targets() []Target {
+	graphFor := s.Server.GraphProvider()
+	entries := s.Server.CachedPlacements()
+	out := make([]Target, 0, len(entries))
+	for _, e := range entries {
+		if e.Request == nil || e.Result == nil {
+			continue
+		}
+		req := e.Request
+		out = append(out, Target{
+			Key:     e.Key,
+			Request: req,
+			Result:  e.Result,
+			Problem: func(snap *service.Snapshot) (*core.Problem, error) {
+				return req.Problem(snap, graphFor)
+			},
+		})
+	}
+	return out
+}
+
+// Apply implements TargetSource by installing the remapped result in the
+// server's cache.
+func (s ServerSource) Apply(t Target, res *service.MapResult) error {
+	s.Server.InsertResult(t.Request, res)
+	return nil
+}

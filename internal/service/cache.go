@@ -13,6 +13,11 @@ import (
 // fingerprint.go), so a snapshot swap makes old entries unreachable and
 // ordinary LRU pressure evicts them — no flush path, no invalidation
 // races.
+//
+// Each entry retains the request that produced it: the re-gauging loop
+// walks the cache after a snapshot publication and rebuilds each entry's
+// problem against the new model to decide whether the placement is worth
+// migrating.
 type resultCache struct {
 	mu       sync.Mutex
 	capacity int
@@ -23,6 +28,7 @@ type resultCache struct {
 
 type cacheEntry struct {
 	key string
+	req *MapRequest
 	res *MapResult
 }
 
@@ -59,15 +65,17 @@ func (c *resultCache) get(key string) (*MapResult, bool) {
 
 // add inserts a result, evicting the least-recently-used entry past
 // capacity.
-func (c *resultCache) add(key string, res *MapResult) {
+func (c *resultCache) add(key string, req *MapRequest, res *MapResult) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
 		c.order.MoveToFront(el)
-		el.Value.(*cacheEntry).res = res
+		entry := el.Value.(*cacheEntry)
+		entry.req = req
+		entry.res = res
 		return
 	}
-	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, req: req, res: res})
 	for c.order.Len() > c.capacity {
 		last := c.order.Back()
 		c.order.Remove(last)
@@ -82,6 +90,30 @@ func (c *resultCache) len() int {
 	return c.order.Len()
 }
 
+// CachedPlacement is one cached (request, result) pair, exposed to the
+// re-gauging loop so it can re-evaluate live placements against a freshly
+// published snapshot.
+type CachedPlacement struct {
+	Key     string
+	Request *MapRequest
+	Result  *MapResult
+}
+
+// walk returns a point-in-time copy of the cache contents in recency
+// order (most recent first). The list order — not the entries map — is
+// walked, so the result is deterministic for a deterministic request
+// history.
+func (c *resultCache) walk() []CachedPlacement {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]CachedPlacement, 0, c.order.Len())
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*cacheEntry)
+		out = append(out, CachedPlacement{Key: e.key, Request: e.req, Result: e.res})
+	}
+	return out
+}
+
 // do runs solve for key exactly once across concurrent callers: the
 // first caller executes it, later callers receive the same result once
 // it completes — or their own ctx error if their deadline fires first
@@ -93,7 +125,7 @@ func (c *resultCache) len() int {
 // Successful results are added to the LRU before the flight resolves, so
 // a request arriving after completion hits the cache directly. Errors
 // are not cached: the next request retries.
-func (c *resultCache) do(ctx context.Context, key string, solve func() (*MapResult, error)) (res *MapResult, shared bool, err error) {
+func (c *resultCache) do(ctx context.Context, key string, req *MapRequest, solve func() (*MapResult, error)) (res *MapResult, shared bool, err error) {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		c.order.MoveToFront(el)
@@ -116,7 +148,7 @@ func (c *resultCache) do(ctx context.Context, key string, solve func() (*MapResu
 
 	f.res, f.err = solve()
 	if f.err == nil {
-		c.add(key, f.res)
+		c.add(key, req, f.res)
 	}
 	c.mu.Lock()
 	delete(c.inflight, key)

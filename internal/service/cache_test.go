@@ -11,13 +11,13 @@ import (
 
 func TestLRUEviction(t *testing.T) {
 	c := newResultCache(2)
-	c.add("a", &MapResult{Digest: "a"})
-	c.add("b", &MapResult{Digest: "b"})
+	c.add("a", nil, &MapResult{Digest: "a"})
+	c.add("b", nil, &MapResult{Digest: "b"})
 	if _, ok := c.get("a"); !ok {
 		t.Fatal("a missing before eviction")
 	}
 	// "a" is now most recent; adding "c" evicts "b".
-	c.add("c", &MapResult{Digest: "c"})
+	c.add("c", nil, &MapResult{Digest: "c"})
 	if _, ok := c.get("b"); ok {
 		t.Error("b survived past capacity")
 	}
@@ -42,7 +42,7 @@ func TestSingleflightCollapsesConcurrentSolves(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			res, shared, err := c.do(context.Background(), "key", func() (*MapResult, error) {
+			res, shared, err := c.do(context.Background(), "key", nil, func() (*MapResult, error) {
 				solves.Add(1)
 				<-release
 				return &MapResult{Digest: "solved"}, nil
@@ -80,7 +80,7 @@ func TestSingleflightWaiterHonorsContext(t *testing.T) {
 	started := make(chan struct{})
 	release := make(chan struct{})
 	go func() {
-		_, _, err := c.do(context.Background(), "slow", func() (*MapResult, error) {
+		_, _, err := c.do(context.Background(), "slow", nil, func() (*MapResult, error) {
 			close(started)
 			<-release
 			return &MapResult{}, nil
@@ -92,7 +92,7 @@ func TestSingleflightWaiterHonorsContext(t *testing.T) {
 	<-started
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
 	defer cancel()
-	_, shared, err := c.do(ctx, "slow", func() (*MapResult, error) {
+	_, shared, err := c.do(ctx, "slow", nil, func() (*MapResult, error) {
 		t.Error("waiter must not start its own solve")
 		return nil, nil
 	})
@@ -105,7 +105,7 @@ func TestSingleflightWaiterHonorsContext(t *testing.T) {
 func TestSingleflightErrorsAreNotCached(t *testing.T) {
 	c := newResultCache(8)
 	attempts := 0
-	_, _, err := c.do(context.Background(), "k", func() (*MapResult, error) {
+	_, _, err := c.do(context.Background(), "k", nil, func() (*MapResult, error) {
 		attempts++
 		return nil, fmt.Errorf("boom")
 	})
@@ -115,7 +115,7 @@ func TestSingleflightErrorsAreNotCached(t *testing.T) {
 	if _, ok := c.get("k"); ok {
 		t.Fatal("error cached")
 	}
-	res, _, err := c.do(context.Background(), "k", func() (*MapResult, error) {
+	res, _, err := c.do(context.Background(), "k", nil, func() (*MapResult, error) {
 		attempts++
 		return &MapResult{Digest: "ok"}, nil
 	})
@@ -139,10 +139,10 @@ func TestCacheRace(t *testing.T) {
 			for i := 0; i < 200; i++ {
 				key := fmt.Sprintf("k%d", (g+i)%24)
 				if i%3 == 0 {
-					c.add(key, &MapResult{Digest: key})
+					c.add(key, nil, &MapResult{Digest: key})
 					continue
 				}
-				res, _, err := c.do(context.Background(), key, func() (*MapResult, error) {
+				res, _, err := c.do(context.Background(), key, nil, func() (*MapResult, error) {
 					return &MapResult{Digest: key}, nil
 				})
 				if err != nil || res.Digest != key {

@@ -72,6 +72,12 @@ func fingerprint(r *MapRequest, snapshotVersion uint64) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// PlacementDigest is the canonical SHA-256 of a placement vector — the
+// digest carried in MapResult.Digest. Exported so the re-gauging loop
+// (and the offline replay scenario) can stamp remapped results with the
+// same digest clients already compare.
+func PlacementDigest(pl core.Placement) string { return placementDigest(pl) }
+
 // placementDigest is the canonical SHA-256 of a placement vector,
 // exposed in responses so clients can assert determinism cheaply.
 //

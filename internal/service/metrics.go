@@ -149,6 +149,12 @@ type View struct {
 	SolverWorkers  int            `json:"solver_workers,omitempty"`
 	RequestLatency LatencySummary `json:"request_latency"`
 	SolveLatency   LatencySummary `json:"solve_latency"`
+	// SnapshotAgeSeconds is how long the current snapshot has been the
+	// newest one, as observed by the read path (see Server.snapshotAge).
+	SnapshotAgeSeconds float64 `json:"snapshot_age_seconds"`
+	// Components carries the registered auxiliary status blocks (e.g. the
+	// re-gauging loop's view), keyed by probe name.
+	Components map[string]any `json:"components,omitempty"`
 }
 
 // Snapshot summarizes the counters. Queue depth and cache size are

@@ -134,7 +134,7 @@ func (r *MapRequest) validate(maxProcs int, m int) error {
 			return fmt.Errorf("edge %d has negative traffic", i)
 		}
 	}
-	if _, err := r.mapper(1); err != nil { // workers=1: only the algorithm name is validated here
+	if _, err := r.Mapper(1); err != nil { // workers=1: only the algorithm name is validated here
 		return err
 	}
 	if r.Workload != "" {
@@ -153,12 +153,12 @@ func (r *MapRequest) iters() int {
 	return r.Iters
 }
 
-// mapper instantiates the requested algorithm. solverWorkers is the
+// Mapper instantiates the requested algorithm. solverWorkers is the
 // server's per-solve order-search parallelism (see Config.SolverWorkers);
 // it does not enter the request fingerprint because the parallel search's
 // deterministic reduction returns byte-identical placements at every
 // worker count.
-func (r *MapRequest) mapper(solverWorkers int) (core.Mapper, error) {
+func (r *MapRequest) Mapper(solverWorkers int) (core.Mapper, error) {
 	switch r.Algorithm {
 	case "", "geo":
 		return &core.GeoMapper{Kappa: r.Kappa, Seed: r.Seed, Workers: solverWorkers}, nil
@@ -175,11 +175,20 @@ func (r *MapRequest) mapper(solverWorkers int) (core.Mapper, error) {
 	}
 }
 
-// problem assembles the core.Problem for the request against a snapshot,
-// profiling the workload through graphFor (memoized by the server).
-func (r *MapRequest) problem(snap *Snapshot, graphFor func(workload string, procs, iters int) (*comm.Graph, error)) (*core.Problem, error) {
+// GraphFunc supplies a workload's profiled communication graph. The
+// server passes its memoizing profiler; a nil GraphFunc profiles the
+// workload directly (fine for infrequent callers like the re-gauging
+// loop, which rebuilds a handful of problems per publication).
+type GraphFunc func(workload string, procs, iters int) (*comm.Graph, error)
+
+// Problem assembles the core.Problem for the request against a snapshot,
+// profiling the workload through graphFor (nil profiles directly).
+func (r *MapRequest) Problem(snap *Snapshot, graphFor GraphFunc) (*core.Problem, error) {
 	var g *comm.Graph
 	if r.Workload != "" {
+		if graphFor == nil {
+			graphFor = profileGraph
+		}
 		var err error
 		g, err = graphFor(r.Workload, r.Procs, r.iters())
 		if err != nil {
@@ -211,4 +220,13 @@ func (r *MapRequest) problem(snap *Snapshot, graphFor func(workload string, proc
 		return nil, err
 	}
 	return p, nil
+}
+
+// profileGraph is the memoization-free GraphFunc.
+func profileGraph(workload string, procs, iters int) (*comm.Graph, error) {
+	app, err := apps.ByName(workload)
+	if err != nil {
+		return nil, err
+	}
+	return apps.Graph(app, procs, iters)
 }

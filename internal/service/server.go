@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -39,9 +40,24 @@ type Config struct {
 	// DefaultDeadline applies to requests that set no deadline_ms
 	// (default 30 s).
 	DefaultDeadline time.Duration
+	// MaxStaleness degrades /healthz to 503 once the current snapshot has
+	// been the newest one for longer than this — the operator-visible
+	// symptom of a stuck or frozen re-gauging loop. Zero disables the
+	// check (snapshot age is still reported).
+	MaxStaleness time.Duration
+	// Now supplies the staleness clock (default time.Now). Tests inject a
+	// monotonic fake so staleness transitions are exact, not sleep-timed.
+	Now func() time.Time
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
 }
+
+// StatusFunc supplies an auxiliary status block rendered under its name
+// in /healthz and /metrics (e.g. the re-gauging loop's state). ok=false
+// marks the daemon "degraded" in /healthz without changing the HTTP
+// status — only snapshot staleness escalates to 503, because a degraded
+// gauger with a fresh snapshot is still serving sound placements.
+type StatusFunc func() (v any, ok bool)
 
 // Server is the mapping service: stateless HTTP handlers over the
 // snapshot store, solver pool, and result cache. Create with NewServer,
@@ -54,10 +70,25 @@ type Server struct {
 
 	maxProcs        int
 	defaultDeadline time.Duration
+	maxStaleness    time.Duration
 	poolWorkers     int
 	solverWorkers   int
 	logf            func(format string, args ...any)
+	now             func() time.Time
 	started         time.Time
+
+	// obsMu guards the lazy staleness observation: the first read that
+	// sees a new snapshot version stamps it with the injected clock, and
+	// age is measured from that stamp. Observing in the read path (not in
+	// Store.Publish) keeps the store free of clock calls, which matters
+	// because the re-gauging loop publishes from deterministic roots.
+	obsMu      sync.Mutex
+	obsVersion uint64
+	obsAt      time.Time
+
+	// statusMu guards the registered auxiliary status probes.
+	statusMu     sync.Mutex
+	statusProbes map[string]StatusFunc
 
 	// graphs memoizes profiled workload patterns keyed by
 	// "workload/procs/iters"; profiling LU at n=64 costs milliseconds
@@ -93,6 +124,12 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.MaxStaleness < 0 {
+		return nil, fmt.Errorf("service: MaxStaleness = %v, want >= 0", cfg.MaxStaleness)
+	}
 	if cfg.SolverWorkers < 0 {
 		return nil, fmt.Errorf("service: SolverWorkers = %d, want >= 0", cfg.SolverWorkers)
 	}
@@ -101,6 +138,7 @@ func NewServer(cfg Config) (*Server, error) {
 		cfg.Logf("solver workers clamped %d → %d: %d pool workers × %d per solve would oversubscribe GOMAXPROCS=%d",
 			cfg.SolverWorkers, solverWorkers, cfg.Workers, cfg.SolverWorkers, runtime.GOMAXPROCS(0))
 	}
+	started := cfg.Now()
 	return &Server{
 		store:           cfg.Store,
 		cache:           newResultCache(cfg.CacheSize),
@@ -108,11 +146,16 @@ func NewServer(cfg Config) (*Server, error) {
 		metrics:         NewMetrics(),
 		maxProcs:        cfg.MaxProcs,
 		defaultDeadline: cfg.DefaultDeadline,
+		maxStaleness:    cfg.MaxStaleness,
 		poolWorkers:     cfg.Workers,
 		solverWorkers:   solverWorkers,
 		logf:            cfg.Logf,
-		started:         time.Now(),
+		now:             cfg.Now,
+		started:         started,
+		obsVersion:      cfg.Store.Current().Version,
+		obsAt:           started,
 		graphs:          map[string]*comm.Graph{},
+		statusProbes:    map[string]StatusFunc{},
 	}, nil
 }
 
@@ -134,6 +177,79 @@ func clampSolverWorkers(poolWorkers, requested, maxProcs int) int {
 // Metrics exposes the server's counter set (geomapd logs a summary on
 // shutdown).
 func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// RegisterStatus attaches an auxiliary status probe rendered under name
+// in /healthz and /metrics. Later registrations under the same name
+// replace earlier ones.
+func (s *Server) RegisterStatus(name string, fn StatusFunc) {
+	s.statusMu.Lock()
+	s.statusProbes[name] = fn
+	s.statusMu.Unlock()
+}
+
+// CachedPlacements returns a point-in-time copy of the result cache in
+// recency order — the re-gauging loop's view of the placements clients
+// are currently acting on.
+func (s *Server) CachedPlacements() []CachedPlacement { return s.cache.walk() }
+
+// InsertResult stores a (request, result) pair in the result cache under
+// the fingerprint of the request against res.SnapshotVersion. Entries for
+// older snapshot versions need no eviction — their keys simply stop
+// matching. The re-gauging loop uses this to install remapped placements
+// so subsequent identical requests hit the refreshed result.
+func (s *Server) InsertResult(req *MapRequest, res *MapResult) string {
+	key := fingerprint(req, res.SnapshotVersion)
+	s.cache.add(key, req, res)
+	return key
+}
+
+// GraphProvider exposes the server's memoizing workload profiler for
+// out-of-band problem rebuilds (the re-gauging loop).
+func (s *Server) GraphProvider() GraphFunc { return s.graphFor }
+
+// snapshotAge reports how long the current snapshot has been the newest
+// one, as observed by the read path: the first call that sees a new
+// version stamps it with the injected clock, and subsequent calls measure
+// from that stamp.
+func (s *Server) snapshotAge(now time.Time) (uint64, time.Duration) {
+	cur := s.store.Current()
+	s.obsMu.Lock()
+	defer s.obsMu.Unlock()
+	if cur.Version != s.obsVersion {
+		s.obsVersion = cur.Version
+		s.obsAt = now
+	}
+	return cur.Version, now.Sub(s.obsAt)
+}
+
+// statusBlocks evaluates the registered probes in name order, returning
+// the rendered map and whether every probe reported healthy.
+func (s *Server) statusBlocks() (map[string]any, bool) {
+	s.statusMu.Lock()
+	names := make([]string, 0, len(s.statusProbes))
+	for name := range s.statusProbes {
+		names = append(names, name)
+	}
+	probes := make([]StatusFunc, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		probes = append(probes, s.statusProbes[name])
+	}
+	s.statusMu.Unlock()
+	if len(names) == 0 {
+		return nil, true
+	}
+	out := make(map[string]any, len(names))
+	allOK := true
+	for i, name := range names {
+		v, ok := probes[i]()
+		out[name] = v
+		if !ok {
+			allOK = false
+		}
+	}
+	return out, allOK
+}
 
 // Close drains the solver pool: admission stops, queued jobs finish.
 // Call after the HTTP listener has stopped accepting connections.
@@ -191,7 +307,7 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	res, shared, err := s.cache.do(ctx, key, func() (*MapResult, error) {
+	res, shared, err := s.cache.do(ctx, key, &req, func() (*MapResult, error) {
 		return s.solve(ctx, &req, snap)
 	})
 	switch {
@@ -228,12 +344,12 @@ func (s *Server) solve(ctx context.Context, req *MapRequest, snap *Snapshot) (*M
 		if s.solveHook != nil {
 			s.solveHook()
 		}
-		prob, err := req.problem(snap, s.graphFor)
+		prob, err := req.Problem(snap, s.graphFor)
 		if err != nil {
 			solveErr = err
 			return
 		}
-		mapper, err := req.mapper(s.solverWorkers)
+		mapper, err := req.Mapper(s.solverWorkers)
 		if err != nil {
 			solveErr = err
 			return
@@ -387,12 +503,35 @@ func (s *Server) handleSnapshotPost(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	now := s.now()
 	snap := s.store.Current()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":         "ok",
-		"uptime_seconds": time.Since(s.started).Seconds(),
-		"snapshot":       viewOf(snap),
-	})
+	_, age := s.snapshotAge(now)
+	blocks, probesOK := s.statusBlocks()
+	status := "ok"
+	httpStatus := http.StatusOK
+	if !probesOK {
+		status = "degraded"
+	}
+	// Only staleness escalates to 503: a load balancer should stop
+	// steering traffic at a daemon whose model has gone stale, but a
+	// merely degraded gauger with a fresh snapshot still serves soundly.
+	if s.maxStaleness > 0 && age > s.maxStaleness {
+		status = "degraded"
+		httpStatus = http.StatusServiceUnavailable
+	}
+	body := map[string]any{
+		"status":               status,
+		"uptime_seconds":       now.Sub(s.started).Seconds(),
+		"snapshot":             viewOf(snap),
+		"snapshot_age_seconds": age.Seconds(),
+	}
+	if s.maxStaleness > 0 {
+		body["max_staleness_seconds"] = s.maxStaleness.Seconds()
+	}
+	if len(blocks) > 0 {
+		body["components"] = blocks
+	}
+	writeJSON(w, httpStatus, body)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -402,6 +541,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	// against the machine (the oversubscription rule in Config).
 	v.PoolWorkers = s.poolWorkers
 	v.SolverWorkers = s.solverWorkers
+	_, age := s.snapshotAge(s.now())
+	v.SnapshotAgeSeconds = age.Seconds()
+	blocks, _ := s.statusBlocks()
+	v.Components = blocks
 	writeJSON(w, http.StatusOK, v)
 }
 

@@ -1,0 +1,189 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is the injectable monotonic clock the staleness tests drive.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func getJSON(t *testing.T, h http.Handler, path string, wantStatus int) map[string]any {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	if rec.Code != wantStatus {
+		t.Fatalf("GET %s status = %d, want %d (body %s)", path, rec.Code, wantStatus, rec.Body.String())
+	}
+	var body map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("decoding %s: %v", path, err)
+	}
+	return body
+}
+
+// TestHealthzStaleness drives the staleness ladder on the injected
+// clock: fresh snapshot → 200, age past MaxStaleness → 503 degraded,
+// a newly published snapshot observed by the read path → 200 again.
+func TestHealthzStaleness(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	srv := newTestServer(t, Config{MaxStaleness: time.Hour, Now: clk.now})
+	h := srv.Handler()
+
+	body := getJSON(t, h, "/healthz", http.StatusOK)
+	if body["status"] != "ok" {
+		t.Fatalf("fresh status = %v", body["status"])
+	}
+	if age := body["snapshot_age_seconds"].(float64); age != 0 {
+		t.Fatalf("fresh age = %v, want 0", age)
+	}
+	if max := body["max_staleness_seconds"].(float64); max != 3600 {
+		t.Fatalf("max_staleness_seconds = %v, want 3600", max)
+	}
+
+	clk.advance(30 * time.Minute)
+	body = getJSON(t, h, "/healthz", http.StatusOK)
+	if age := body["snapshot_age_seconds"].(float64); age != 1800 {
+		t.Fatalf("age after 30m = %v, want 1800", age)
+	}
+
+	clk.advance(31 * time.Minute)
+	body = getJSON(t, h, "/healthz", http.StatusServiceUnavailable)
+	if body["status"] != "degraded" {
+		t.Fatalf("stale status = %v, want degraded", body["status"])
+	}
+
+	// Publishing a fresh snapshot resets the age the moment a read
+	// observes the new version.
+	if _, err := srv.store.Publish(testSnapshot(t, 64, 2)); err != nil {
+		t.Fatal(err)
+	}
+	body = getJSON(t, h, "/healthz", http.StatusOK)
+	if body["status"] != "ok" {
+		t.Fatalf("post-publish status = %v, want ok", body["status"])
+	}
+	if age := body["snapshot_age_seconds"].(float64); age != 0 {
+		t.Fatalf("post-publish age = %v, want 0", age)
+	}
+}
+
+// TestHealthzNoMaxStaleness: with the limit disabled the age is still
+// reported but never escalates to 503.
+func TestHealthzNoMaxStaleness(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	srv := newTestServer(t, Config{Now: clk.now})
+	h := srv.Handler()
+	clk.advance(1000 * time.Hour)
+	body := getJSON(t, h, "/healthz", http.StatusOK)
+	if body["status"] != "ok" {
+		t.Fatalf("status = %v, want ok with staleness limit disabled", body["status"])
+	}
+	if age := body["snapshot_age_seconds"].(float64); age != 3600000 {
+		t.Fatalf("age = %v, want 3.6e6", age)
+	}
+	if _, present := body["max_staleness_seconds"]; present {
+		t.Fatal("max_staleness_seconds reported with the limit disabled")
+	}
+}
+
+// TestMetricsSnapshotAge: /metrics carries the same lazily observed age.
+func TestMetricsSnapshotAge(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	srv := newTestServer(t, Config{Now: clk.now})
+	h := srv.Handler()
+	clk.advance(90 * time.Second)
+	body := getJSON(t, h, "/metrics", http.StatusOK)
+	if age := body["snapshot_age_seconds"].(float64); age != 90 {
+		t.Fatalf("metrics age = %v, want 90", age)
+	}
+}
+
+// TestStatusProbes: registered component probes render under
+// "components" in both endpoints; a failing probe degrades the reported
+// status without turning away traffic (only staleness does that).
+func TestStatusProbes(t *testing.T) {
+	srv := newTestServer(t, Config{})
+	healthy := true
+	var mu sync.Mutex
+	srv.RegisterStatus("regauge", func() (any, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		return map[string]any{"mode": "ok"}, healthy
+	})
+	h := srv.Handler()
+
+	body := getJSON(t, h, "/healthz", http.StatusOK)
+	comps, ok := body["components"].(map[string]any)
+	if !ok {
+		t.Fatalf("healthz lacks components: %v", body)
+	}
+	if _, ok := comps["regauge"]; !ok {
+		t.Fatalf("components lack regauge block: %v", comps)
+	}
+	if body["status"] != "ok" {
+		t.Fatalf("status = %v, want ok", body["status"])
+	}
+
+	mu.Lock()
+	healthy = false
+	mu.Unlock()
+	body = getJSON(t, h, "/healthz", http.StatusOK)
+	if body["status"] != "degraded" {
+		t.Fatalf("status with failing probe = %v, want degraded at HTTP 200", body["status"])
+	}
+
+	metrics := getJSON(t, h, "/metrics", http.StatusOK)
+	if _, ok := metrics["components"].(map[string]any); !ok {
+		t.Fatalf("metrics lacks components: %v", metrics)
+	}
+}
+
+// TestInsertResultAndWalk: results inserted from outside the solve path
+// (the re-gauging loop) surface through CachedPlacements and serve
+// subsequent identical requests as cache hits.
+func TestInsertResultAndWalk(t *testing.T) {
+	srv := newTestServer(t, Config{})
+	h := srv.Handler()
+
+	req := MapRequest{Workload: "LU", Procs: 64, Seed: 1}
+	var first MapResponse
+	postMap(t, h, req, http.StatusOK, &first)
+
+	entries := srv.CachedPlacements()
+	if len(entries) != 1 {
+		t.Fatalf("cached placements = %d, want 1", len(entries))
+	}
+	if entries[0].Request == nil || entries[0].Request.Workload != "LU" {
+		t.Fatalf("cached request not retained: %+v", entries[0].Request)
+	}
+
+	// Re-insert a doctored result under the current snapshot version and
+	// check the next identical request returns it from the cache.
+	doctored := *entries[0].Result
+	doctored.Algorithm = entries[0].Result.Algorithm + "+remap"
+	srv.InsertResult(entries[0].Request, &doctored)
+	var second MapResponse
+	postMap(t, h, req, http.StatusOK, &second)
+	if !second.Cached || second.Algorithm != doctored.Algorithm {
+		t.Fatalf("follow-up = cached=%v algorithm=%q, want the inserted result", second.Cached, second.Algorithm)
+	}
+}

@@ -34,8 +34,30 @@ func Mean(xs []float64) float64 {
 // outlier-robust estimator the calibrator uses to reject probe samples
 // inflated by transient WAN faults. frac is clamped to [0, 0.5); with
 // nothing left after trimming (or an empty slice) it returns Mean(xs).
+//
+// Non-finite samples (NaN, ±Inf) are dropped before trimming: an estimator
+// meant to reject outliers must not let a single poisoned sample turn the
+// whole estimate into NaN — the re-gauging drift detector feeds it
+// ratio-derived windows where a zero denominator upstream would otherwise
+// propagate forever. An all-non-finite sample returns 0.
 func TrimmedMean(xs []float64, frac float64) float64 {
 	if len(xs) == 0 {
+		return 0
+	}
+	finite := xs
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			// First bad sample found: rebuild with only the finite ones.
+			finite = make([]float64, 0, len(xs))
+			for _, y := range xs {
+				if !math.IsNaN(y) && !math.IsInf(y, 0) {
+					finite = append(finite, y)
+				}
+			}
+			break
+		}
+	}
+	if len(finite) == 0 {
 		return 0
 	}
 	if frac < 0 {
@@ -44,11 +66,11 @@ func TrimmedMean(xs []float64, frac float64) float64 {
 	if frac >= 0.5 {
 		frac = 0.5
 	}
-	cut := int(frac * float64(len(xs)))
-	if 2*cut >= len(xs) {
-		return Mean(xs)
+	cut := int(frac * float64(len(finite)))
+	if 2*cut >= len(finite) {
+		return Mean(finite)
 	}
-	sorted := append([]float64(nil), xs...)
+	sorted := append([]float64(nil), finite...)
 	sort.Float64s(sorted)
 	return Mean(sorted[cut : len(sorted)-cut])
 }

@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# regauge-smoke: end-to-end gate for the closed-loop re-gauging daemon.
+# Starts geomapd with the control loop live against the FlakyWAN fault
+# preset at a fast timescale, seeds the result cache with geoload, and
+# requires (1) at least one automatic snapshot publication by the loop,
+# (2) at least one remap suppressed by hysteresis (the drift FlakyWAN
+# induces is never worth a migration), (3) the regauge component visible
+# and healthy in /healthz, and (4) a clean drain on SIGTERM with the
+# loop stopped before the final counters.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+tmp=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+    [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp" ./cmd/geomapd ./cmd/geoload
+
+# Timescale 60 ticks the 30 s gauge interval every 500 ms of wall time:
+# FlakyWAN's fault windows (all within the first 120 schedule seconds)
+# and the post-window reversion both drift the model while the cache is
+# already populated, so publications walk a real target.
+"$tmp/geomapd" -addr 127.0.0.1:0 -addr-file "$tmp/addr" \
+    -regauge -faults FlakyWAN -regauge-timescale 60 -workers 2 \
+    2>"$tmp/daemon.log" &
+daemon_pid=$!
+
+for _ in $(seq 1 100); do
+    [ -s "$tmp/addr" ] && break
+    sleep 0.1
+done
+if [ ! -s "$tmp/addr" ]; then
+    echo "regauge-smoke: geomapd never wrote its address; daemon log:" >&2
+    cat "$tmp/daemon.log" >&2
+    exit 1
+fi
+addr=$(cat "$tmp/addr")
+
+# Populate the result cache immediately so the loop's publications have
+# placements to re-evaluate.
+"$tmp/geoload" -url "http://$addr" -n 12 -c 4 -app CG -procs 64 -seed 7 >"$tmp/load.log"
+
+# Poll the regauge component until the loop has both published a
+# snapshot and suppressed at least one remap by hysteresis.
+deadline=$((SECONDS + 60))
+published=0
+suppressed=0
+while [ "$SECONDS" -lt "$deadline" ]; do
+    metrics=$(curl -sf "http://$addr/metrics" || true)
+    published=$(printf '%s' "$metrics" | python3 -c '
+import json, sys
+try:
+    r = json.load(sys.stdin)["components"]["regauge"]
+    print(r["snapshots_published"])
+except Exception:
+    print(0)
+')
+    suppressed=$(printf '%s' "$metrics" | python3 -c '
+import json, sys
+try:
+    r = json.load(sys.stdin)["components"]["regauge"]
+    print(r["remaps_suppressed_cooldown"] + r["remaps_suppressed_uneconomic"])
+except Exception:
+    print(0)
+')
+    [ "$published" -ge 1 ] && [ "$suppressed" -ge 1 ] && break
+    sleep 0.5
+done
+if [ "$published" -lt 1 ] || [ "$suppressed" -lt 1 ]; then
+    echo "regauge-smoke: loop never reached published>=1 && suppressed>=1 (got $published/$suppressed); daemon log:" >&2
+    cat "$tmp/daemon.log" >&2
+    exit 1
+fi
+echo "regauge-smoke: $published snapshots published, $suppressed remaps suppressed by hysteresis"
+
+# The component must be visible and healthy in /healthz.
+if ! curl -sf "http://$addr/healthz" | grep -q '"regauge"'; then
+    echo "regauge-smoke: /healthz lacks the regauge component" >&2
+    exit 1
+fi
+
+# Graceful drain: SIGTERM must stop the loop, then exit zero.
+kill -TERM "$daemon_pid"
+if ! wait "$daemon_pid"; then
+    echo "regauge-smoke: geomapd exited non-zero on SIGTERM; daemon log:" >&2
+    cat "$tmp/daemon.log" >&2
+    exit 1
+fi
+daemon_pid=""
+
+if ! grep -q 'regauge: stopped' "$tmp/daemon.log"; then
+    echo "regauge-smoke: drain did not stop the re-gauging loop; daemon log:" >&2
+    cat "$tmp/daemon.log" >&2
+    exit 1
+fi
+grep 'drained' "$tmp/daemon.log" || true
+echo "regauge-smoke: ok"
