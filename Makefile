@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race faults serve-smoke regauge-smoke bench-orders check
+.PHONY: all build vet lint test race faults serve-smoke regauge-smoke bench-orders bench-alloc check
 
 all: check
 
@@ -55,4 +55,11 @@ bench-orders:
 	$(GO) run ./cmd/geobench -exp orders -out results -json
 	cp results/orders.json results/BENCH_orders.json
 
-check: build vet lint test race faults serve-smoke regauge-smoke
+# Zero-allocation gate: the BenchmarkAlloc* family measures every
+# //geolint:allocfree hot path with -benchmem and fails on any nonzero
+# allocs/op (the dynamic counterpart of the static allocsafe rule).
+# Measurements land in results/BENCH_alloc.json; ns/op is informational.
+bench-alloc:
+	./scripts/bench_alloc.sh
+
+check: build vet lint test race faults serve-smoke regauge-smoke bench-alloc

@@ -56,9 +56,9 @@ func main() {
 		return
 	}
 
-	rules := analysis.DefaultRules()
+	all := analysis.DefaultRules()
 	if *listRules {
-		for _, r := range rules {
+		for _, r := range all {
 			fmt.Printf("%-14s %s\n", r.ID(), r.Doc())
 		}
 		return
@@ -67,13 +67,29 @@ func main() {
 	// full rule set, so a justified ignore for a deselected rule is not
 	// misreported as unknown.
 	known := map[string]bool{}
-	for _, r := range rules {
+	for _, r := range all {
 		known[r.ID()] = true
 	}
-	rules, err := analysis.SelectRules(rules, splitIDs(*only), splitIDs(*skip))
+	rules, err := analysis.SelectRules(all, splitIDs(*only), splitIDs(*skip))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "geolint:", err)
 		os.Exit(2)
+	}
+	// -staleignores stays authoritative on a scoped run: deselected rules
+	// still execute for suppression accounting (their findings are
+	// dropped), so an ignore directive that suppresses nothing is
+	// reported stale even when -only excludes its rule.
+	var usage []analysis.Rule
+	if *staleIgnores {
+		selected := map[string]bool{}
+		for _, r := range rules {
+			selected[r.ID()] = true
+		}
+		for _, r := range all {
+			if !selected[r.ID()] {
+				usage = append(usage, r)
+			}
+		}
 	}
 
 	root, err := moduleRoot()
@@ -102,7 +118,7 @@ func main() {
 				p.Path, len(p.TypeErrors), p.TypeErrors[0])
 		}
 	}
-	findings := analysis.RunWith(passes, rules, analysis.RunOptions{StaleIgnores: *staleIgnores, KnownRules: known})
+	findings := analysis.RunWith(passes, rules, analysis.RunOptions{StaleIgnores: *staleIgnores, KnownRules: known, UsageRules: usage})
 	if *asJSON {
 		out := make([]jsonFinding, 0, len(findings))
 		for _, f := range findings {

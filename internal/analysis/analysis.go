@@ -29,6 +29,13 @@
 //	              no mutex held across a blocking operation (directly or
 //	              transitively), no missing unlock on early returns, no
 //	              lock-by-value copies
+//	allocsafe     interprocedural allocation discipline: functions
+//	              annotated //geolint:allocfree must not transitively
+//	              reach an allocation site (make/new, escaping composite
+//	              literals, append growth, string building, interface
+//	              boxing, variadic calls, escaping closures) over the
+//	              module call graph; deliberate crossings carry a
+//	              justified //geolint:allocsite
 //
 // Rules that need module-wide knowledge implement FactExporter; Run drives
 // a fact phase over every package before any rule checks, so (for example)
@@ -121,6 +128,7 @@ func DefaultRules() []Rule {
 		&ErrCheckRule{},
 		&DetCheckRule{},
 		&LockSafeRule{},
+		&AllocSafeRule{},
 	}
 }
 
@@ -169,6 +177,13 @@ type RunOptions struct {
 	// default set here so a directive naming an unchecked-but-real rule
 	// is neither "unknown" nor "stale".
 	KnownRules map[string]bool
+	// UsageRules run for suppression accounting only: their findings mark
+	// //geolint:ignore directives as used and are then dropped, and their
+	// IDs count as checked for StaleIgnores. cmd/geolint passes the rules
+	// deselected by -only/-skip here so -staleignores stays authoritative
+	// on a scoped run: an ignore for a deselected rule is reported as
+	// stale exactly when a full run would report it.
+	UsageRules []Rule
 }
 
 // Run applies the rules to every package, filters findings through the
@@ -184,6 +199,9 @@ func Run(passes []*Pass, rules []Rule) []Finding {
 // available on Pass.Facts.
 func RunWith(passes []*Pass, rules []Rule, opt RunOptions) []Finding {
 	facts := NewFactSet()
+	// Usage rules run the full fact/check pipeline alongside the
+	// reporting rules; only their findings' fate differs below.
+	allRules := append(append([]Rule{}, rules...), opt.UsageRules...)
 	// Every pass — fact-only imports included — contributes declarations
 	// and call sites to the module call graph before any rule runs, so a
 	// deterministic root in internal/core sees callees from anywhere in
@@ -191,7 +209,7 @@ func RunWith(passes []*Pass, rules []Rule, opt RunOptions) []Finding {
 	for _, p := range passes {
 		facts.AddCallGraphPass(p)
 	}
-	for _, r := range rules {
+	for _, r := range allRules {
 		if fe, ok := r.(FactExporter); ok {
 			for _, p := range passes {
 				fe.ExportFacts(p, facts)
@@ -199,13 +217,13 @@ func RunWith(passes []*Pass, rules []Rule, opt RunOptions) []Finding {
 		}
 	}
 	facts.FinalizeCallGraph()
-	for _, r := range rules {
+	for _, r := range allRules {
 		if ff, ok := r.(FactFinalizer); ok {
 			ff.FinalizeFacts(facts)
 		}
 	}
 	checked := map[string]bool{}
-	for _, r := range rules {
+	for _, r := range allRules {
 		checked[r.ID()] = true
 	}
 	known := opt.KnownRules
@@ -226,6 +244,13 @@ func RunWith(passes []*Pass, rules []Rule, opt RunOptions) []Finding {
 					continue
 				}
 				out = append(out, f)
+			}
+		}
+		// Usage rules mark their suppressions used and report nothing:
+		// the stale-ignore sweep below then has the full picture.
+		for _, r := range opt.UsageRules {
+			for _, f := range r.Check(p) {
+				ig.suppressed(f)
 			}
 		}
 		if opt.StaleIgnores {

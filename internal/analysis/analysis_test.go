@@ -33,6 +33,7 @@ func TestRuleGolden(t *testing.T) {
 		{"errcheckcmd", "geoprocmap/cmd/fixture", &ErrCheckRule{}},
 		{"detcheck", "geoprocmap/internal/fixture", &DetCheckRule{}},
 		{"locksafe", "geoprocmap/internal/fixture", &LockSafeRule{}},
+		{"allocsafe", "geoprocmap/internal/fixture", &AllocSafeRule{}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

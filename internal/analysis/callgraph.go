@@ -337,29 +337,41 @@ func (fs *FactSet) FinalizeCallGraph() {
 	b.finalized = true
 	// Dynamic calls: every address-taken module function with an
 	// identical signature may be the callee (go/types ignores receivers
-	// when comparing signatures, so method values match too).
+	// when comparing signatures, so method values match too). A site
+	// launched with go or defer keeps that mode — locksafe's blocking
+	// propagation must not treat a goroutine launch as the caller
+	// blocking — while a plain call becomes a dynamic edge.
 	for _, site := range b.dynSites {
 		node := b.graph.nodes[site.caller]
 		if node == nil {
 			continue
+		}
+		mode := site.mode
+		if mode == CallStatic {
+			mode = CallDynamic
 		}
 		for _, fn := range b.addrOrder {
 			sig, ok := fn.Type().(*types.Signature)
 			if !ok || !types.Identical(sig, site.sig) {
 				continue
 			}
-			node.Edges = append(node.Edges, CGEdge{Callee: fn, Mode: CallDynamic, Pos: site.pos})
+			node.Edges = append(node.Edges, CGEdge{Callee: fn, Mode: mode, Pos: site.pos})
 		}
 	}
 	// Interface calls: the named method of every module type whose
-	// pointer type implements the interface.
+	// pointer type implements the interface. Go/defer launches keep
+	// their mode here too.
 	for _, site := range b.ifaceSites {
 		node := b.graph.nodes[site.caller]
 		if node == nil {
 			continue
 		}
+		mode := site.mode
+		if mode == CallStatic {
+			mode = CallIface
+		}
 		for _, target := range b.implementers(site.iface, site.name) {
-			node.Edges = append(node.Edges, CGEdge{Callee: target, Mode: CallIface, Pos: site.pos})
+			node.Edges = append(node.Edges, CGEdge{Callee: target, Mode: mode, Pos: site.pos})
 		}
 	}
 	for _, node := range b.graph.nodes {

@@ -56,6 +56,7 @@ func TestCallGraphEdges(t *testing.T) {
 		"example.com/cg/beta.Dynamic": {
 			"ref example.com/cg/alpha.Leaf",
 			"dynamic example.com/cg/alpha.Leaf",
+			"dynamic (example.com/cg/alpha.T).M",
 		},
 		"example.com/cg/beta.Via": {
 			"iface (example.com/cg/beta.Impl).Do",
@@ -71,6 +72,19 @@ func TestCallGraphEdges(t *testing.T) {
 			"defer example.com/cg/alpha.Leaf",
 		},
 		"example.com/cg/beta.Root": {"static example.com/cg/beta.Ping"},
+		"example.com/cg/beta.MethodValue": {
+			"ref (example.com/cg/alpha.T).M",
+			"dynamic example.com/cg/alpha.Leaf",
+			"dynamic (example.com/cg/alpha.T).M",
+		},
+		"example.com/cg/beta.DeferredClosure": {
+			"static example.com/cg/alpha.Leaf",
+			"defer example.com/cg/alpha.Leaf",
+			"defer (example.com/cg/alpha.T).M",
+		},
+		"example.com/cg/beta.GoInRange": {
+			"go example.com/cg/alpha.Clock",
+		},
 	}
 	var gotNames []string
 	for _, fn := range g.Funcs() {

@@ -30,16 +30,11 @@ type FactSet struct {
 	// engine feeds every pass into it before the rule fact phase.
 	cg *cgBuilder
 
-	// detcheck facts (rule_detcheck.go): annotated roots and boundaries,
-	// per-function nondeterminism sources, line-level detsource excuses,
-	// and malformed-annotation diagnostics keyed by pass path.
-	detRoots      map[*types.Func]token.Position
-	detRootOrder  []*types.Func
-	detBoundaries map[*types.Func]bool
-	detSources    map[*types.Func][]DetSource
-	detDirectives map[string]map[int][]*detDirective
-	detDirList    []*detDirective
-	detMalformed  map[string][]Finding
+	// Backward-taint facts (taint.go): annotated roots and boundaries,
+	// per-function sources, line-level excuses, and malformed-annotation
+	// diagnostics keyed by pass path — one instance per taint rule.
+	det   *taintFacts // detcheck (rule_detcheck.go)
+	alloc *taintFacts // allocsafe (rule_allocsafe.go)
 
 	// locksafe facts (rule_locksafe.go): functions that block directly,
 	// and the transitive blocking closure computed by the finalizer.
@@ -50,15 +45,12 @@ type FactSet struct {
 // NewFactSet returns an empty fact set.
 func NewFactSet() *FactSet {
 	return &FactSet{
-		unitTypes:     map[*types.TypeName]bool{},
-		cg:            newCGBuilder(),
-		detRoots:      map[*types.Func]token.Position{},
-		detBoundaries: map[*types.Func]bool{},
-		detSources:    map[*types.Func][]DetSource{},
-		detDirectives: map[string]map[int][]*detDirective{},
-		detMalformed:  map[string][]Finding{},
-		blockDirect:   map[*types.Func]BlockFact{},
-		blocking:      map[*types.Func]BlockFact{},
+		unitTypes:   map[*types.TypeName]bool{},
+		cg:          newCGBuilder(),
+		det:         newTaintFacts(detSpec),
+		alloc:       newTaintFacts(allocSpec),
+		blockDirect: map[*types.Func]BlockFact{},
+		blocking:    map[*types.Func]BlockFact{},
 	}
 }
 

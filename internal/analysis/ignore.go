@@ -161,6 +161,8 @@ var geolintDirectives = map[string]bool{
 	"unit":          true,
 	"deterministic": true,
 	"detsource":     true,
+	"allocfree":     true,
+	"allocsite":     true,
 }
 
 // unknownDirective reports a comment that looks like a geolint directive
@@ -179,7 +181,7 @@ func unknownDirective(p *Pass, c *ast.Comment) (Finding, bool) {
 	}
 	return Finding{
 		Rule: "geolint", Pos: p.Fset.Position(c.Pos()),
-		Message: "unknown geolint directive " + quote(verb) + "; recognized: ignore, unit, deterministic, detsource",
+		Message: "unknown geolint directive " + quote(verb) + "; recognized: ignore, unit, deterministic, detsource, allocfree, allocsite",
 	}, true
 }
 

@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestAllocsafeDirectiveHygiene covers the annotation grammar's failure
+// modes, mirroring detcheck's: stale line-level excuses, missing
+// justifications, markers off a function declaration, and markers with
+// arguments all become findings.
+func TestAllocsafeDirectiveHygiene(t *testing.T) {
+	src := `package fixture
+
+//geolint:allocsite nothing on this line or the next needs excusing
+var x = 1
+
+//geolint:allocfree
+func clean() int { return x }
+
+// floating marker, attached to no declaration:
+//
+// a paragraph break keeps the next comment out of any doc group
+var _ = 0
+
+//geolint:allocfree
+var y = 2
+
+// reasoned is a doc comment.
+//
+//geolint:allocsite
+func reasoned() []int { return make([]int, 1) }
+
+//geolint:allocfree with an argument
+func argRoot() int { return 0 }
+`
+	p := parseFixturePass(t, src)
+	findings := Run([]*Pass{p}, []Rule{&AllocSafeRule{}})
+	for _, f := range findings {
+		if f.Rule != "allocsafe" {
+			t.Errorf("finding rule = %s, want allocsafe: %v", f.Rule, f)
+		}
+	}
+	wants := map[string]string{
+		"3":  "stale allocsite excuse",
+		"14": "must be the doc comment of a function declaration",
+		"19": "no justification",
+		"22": "takes no arguments",
+	}
+	if len(findings) != len(wants) {
+		t.Errorf("got %d findings, want %d: %v", len(findings), len(wants), findings)
+	}
+	for line, msg := range wants {
+		found := false
+		for _, f := range findings {
+			if fmt.Sprintf("%d", f.Pos.Line) == line && strings.Contains(f.Message, msg) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing finding at line %s containing %q; got %v", line, msg, findings)
+		}
+	}
+	// The malformed allocsite must NOT have registered a boundary, and the
+	// malformed root markers must not have registered roots.
+	if len(p.Facts.alloc.boundaries) != 0 {
+		t.Errorf("malformed allocsite registered %d boundaries", len(p.Facts.alloc.boundaries))
+	}
+	if len(p.Facts.alloc.rootOrder) != 1 {
+		t.Errorf("registered %d roots, want only the clean one", len(p.Facts.alloc.rootOrder))
+	}
+}
+
+// TestAllocFreeRootsResolve is the annotation-coverage guard: every
+// //geolint:allocfree marker in the repository must resolve to a function
+// the call graph has a node for, and there must be enough of them that
+// the hot paths (order search, refinement, cost, stats kernels, netsim
+// rate solver, comm adjacency views) stay under the contract.
+func TestAllocFreeRootsResolve(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	passes, err := Load(Config{Root: root})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	fs := NewFactSet()
+	for _, p := range passes {
+		fs.AddCallGraphPass(p)
+	}
+	fs.FinalizeCallGraph()
+	rule := &AllocSafeRule{}
+	for _, p := range passes {
+		rule.ExportFacts(p, fs)
+	}
+	if len(fs.alloc.rootOrder) < 8 {
+		t.Fatalf("found %d alloc-free roots, expected at least 8 (fill, refinement, cost, stats, netsim, comm views)", len(fs.alloc.rootOrder))
+	}
+	g := fs.CallGraph()
+	for _, fn := range fs.alloc.rootOrder {
+		if g.Node(fn) == nil {
+			t.Errorf("alloc-free root %s (annotated at %s) has no call-graph node", fn.FullName(), fs.alloc.roots[fn])
+		}
+	}
+}
+
+// TestUsageRulesStaleIgnores is the regression test for scoped
+// -staleignores runs: a rule deselected by -only still validates its
+// ignore directives when passed as a usage rule — its findings are
+// dropped, but an ignore that suppresses nothing is reported stale, and
+// one that would suppress a real finding is not.
+func TestUsageRulesStaleIgnores(t *testing.T) {
+	src := `package fixture
+
+import "math/rand"
+
+func used() float64 {
+	return rand.Float64() //geolint:ignore globalrand fixture: injected seeding not needed here
+}
+
+func stale() int {
+	return 1 //geolint:ignore globalrand nothing on this line draws randomness
+}
+`
+	p := parseFixturePass(t, src)
+	known := map[string]bool{"globalrand": true, "libpanic": true}
+	findings := RunWith([]*Pass{p}, []Rule{&LibPanicRule{}}, RunOptions{
+		StaleIgnores: true,
+		KnownRules:   known,
+		UsageRules:   []Rule{&GlobalRandRule{}},
+	})
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want exactly the stale ignore: %v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.Rule != "geolint" || f.Pos.Line != 10 || !strings.Contains(f.Message, "stale ignore") {
+		t.Errorf("finding = %v, want a stale-ignore report at line 10", f)
+	}
+
+	// Without the usage rule the same run must stay silent on both
+	// directives — the deselected rule's ignores are out of scope.
+	quiet := RunWith([]*Pass{p}, []Rule{&LibPanicRule{}}, RunOptions{
+		StaleIgnores: true,
+		KnownRules:   known,
+	})
+	if len(quiet) != 0 {
+		t.Errorf("scoped run without usage rules reported %v, want none", quiet)
+	}
+}

@@ -5,7 +5,6 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"path/filepath"
 	"strings"
 )
 
@@ -30,26 +29,12 @@ import (
 // Both forms require a justification when excusing; a stale line-level
 // excuse (no source on its line or the next) is reported so audited
 // boundaries cannot rot.
-const (
-	detRootMarker      = "//geolint:deterministic"
-	detSourcePrefix    = "//geolint:detsource"
-	detSourceDirective = "detsource"
-)
-
-// DetSource is one nondeterminism source found in a function body.
-type DetSource struct {
-	Pos  token.Position
-	Desc string
-}
-
-// detDirective is one line-level //geolint:detsource excuse. It covers
-// sources on its own line and the next; the owning pass reports it when
-// it excuses nothing.
-type detDirective struct {
-	pos    token.Position
-	path   string // import path of the pass owning the file
-	reason string
-	used   bool
+var detSpec = taintSpec{
+	rule:         "detcheck",
+	rootMarker:   "//geolint:deterministic",
+	excuseMarker: "//geolint:detsource",
+	staleMsg:     "stale detsource excuse: no nondeterminism source on this or the next line; delete it",
+	reachFmt:     "deterministic function %s reaches a nondeterminism source: %s at %s:%d",
 }
 
 // DetCheckRule is the interprocedural determinism rule. The fact phase
@@ -70,9 +55,8 @@ type detDirective struct {
 // The check phase then walks the call graph breadth-first from every
 // //geolint:deterministic root; reaching any source produces a finding at
 // the root's declaration that prints the full call chain and the source
-// position, so the report reads as a proof trace. Traversal follows every
-// edge mode — including go, defer, and bare function references — and
-// terminates on cycles via a visited set.
+// position, so the report reads as a proof trace (taint.go holds the
+// shared machinery).
 type DetCheckRule struct{}
 
 func (*DetCheckRule) ID() string { return "detcheck" }
@@ -85,135 +69,20 @@ func (*DetCheckRule) Doc() string {
 // pass. Directives are collected before bodies are scanned so an excuse
 // works anywhere in its file.
 func (r *DetCheckRule) ExportFacts(p *Pass, fs *FactSet) {
-	if p.Info == nil {
-		return
-	}
-	for _, sf := range p.Files {
-		if sf.Test {
-			continue
+	fs.det.exportPass(p, func(p *Pass, fd *ast.FuncDecl) []TaintSource {
+		srcs := r.scanSources(p, fd)
+		for _, f := range mapIterEscapes(p, fd) {
+			srcs = append(srcs, TaintSource{Pos: f.Pos, Desc: "map iteration order escaping (" + f.Message + ")"})
 		}
-		r.collectAnnotations(p, sf, fs)
-	}
-	for _, sf := range p.Files {
-		if sf.Test {
-			continue
-		}
-		for _, decl := range sf.AST.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			fn, ok := p.Info.Defs[fd.Name].(*types.Func)
-			if !ok {
-				continue
-			}
-			if fs.detBoundaries[fn] {
-				continue // audited boundary: its sources are deliberate
-			}
-			srcs := r.scanSources(p, fd)
-			for _, f := range mapIterEscapes(p, fd) {
-				srcs = append(srcs, DetSource{Pos: f.Pos, Desc: "map iteration order escaping (" + f.Message + ")"})
-			}
-			kept := srcs[:0]
-			for _, s := range srcs {
-				if fs.detExcused(s.Pos) {
-					continue
-				}
-				kept = append(kept, s)
-			}
-			if len(kept) > 0 {
-				fs.detSources[fn] = append(fs.detSources[fn], kept...)
-			}
-		}
-	}
-}
-
-// collectAnnotations registers roots, boundaries, and line-level excuses
-// from one file, recording malformed annotations against the pass path.
-func (r *DetCheckRule) collectAnnotations(p *Pass, sf *SourceFile, fs *FactSet) {
-	// Comments that are part of a function declaration's doc group carry
-	// function-level meaning; everything else is line-level.
-	doc := map[*ast.Comment]*ast.FuncDecl{}
-	for _, decl := range sf.AST.Decls {
-		fd, ok := decl.(*ast.FuncDecl)
-		if !ok || fd.Doc == nil {
-			continue
-		}
-		for _, c := range fd.Doc.List {
-			doc[c] = fd
-		}
-	}
-	bad := func(pos token.Position, msg string) {
-		fs.detMalformed[p.Path] = append(fs.detMalformed[p.Path], Finding{Rule: "detcheck", Pos: pos, Message: msg})
-	}
-	for _, cg := range sf.AST.Comments {
-		for _, c := range cg.List {
-			text := strings.TrimSpace(c.Text)
-			pos := p.position(c.Pos())
-			switch {
-			case text == detRootMarker || strings.HasPrefix(text, detRootMarker+" "):
-				fd, onFunc := doc[c]
-				if !onFunc {
-					bad(pos, "//geolint:deterministic must be the doc comment of a function declaration")
-					continue
-				}
-				if text != detRootMarker {
-					bad(pos, "//geolint:deterministic takes no arguments")
-					continue
-				}
-				fn, ok := p.Info.Defs[fd.Name].(*types.Func)
-				if !ok {
-					continue
-				}
-				if _, dup := fs.detRoots[fn]; !dup {
-					fs.detRoots[fn] = p.position(fd.Name.Pos())
-					fs.detRootOrder = append(fs.detRootOrder, fn)
-				}
-			case strings.HasPrefix(text, detSourcePrefix):
-				reason := strings.TrimSpace(strings.TrimPrefix(text, detSourcePrefix))
-				if reason == "" {
-					bad(pos, "//geolint:detsource has no justification: want //geolint:detsource <reason>")
-					continue
-				}
-				if fd, onFunc := doc[c]; onFunc {
-					if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
-						fs.detBoundaries[fn] = true
-					}
-					continue
-				}
-				fs.addDetDirective(&detDirective{pos: pos, path: p.Path, reason: reason})
-			}
-		}
-	}
-}
-
-func (fs *FactSet) addDetDirective(d *detDirective) {
-	fs.detDirList = append(fs.detDirList, d)
-	byLine := fs.detDirectives[d.pos.Filename]
-	if byLine == nil {
-		byLine = map[int][]*detDirective{}
-		fs.detDirectives[d.pos.Filename] = byLine
-	}
-	for _, line := range []int{d.pos.Line, d.pos.Line + 1} {
-		byLine[line] = append(byLine[line], d)
-	}
-}
-
-// detExcused reports whether a line-level detsource excuse covers pos,
-// marking every covering directive used.
-func (fs *FactSet) detExcused(pos token.Position) bool {
-	ds := fs.detDirectives[pos.Filename][pos.Line]
-	for _, d := range ds {
-		d.used = true
-	}
-	return len(ds) > 0
+		return srcs
+	})
 }
 
 // scanSources finds the catalog sources in one function body. Receives
 // that are select communication clauses are attributed to the select's
 // fan-in analysis, not double-counted as loop receives.
-func (r *DetCheckRule) scanSources(p *Pass, fd *ast.FuncDecl) []DetSource {
-	var out []DetSource
+func (r *DetCheckRule) scanSources(p *Pass, fd *ast.FuncDecl) []TaintSource {
+	var out []TaintSource
 	selectRecv := map[ast.Node]bool{}
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		sel, ok := n.(*ast.SelectStmt)
@@ -255,11 +124,11 @@ func (r *DetCheckRule) scanSources(p *Pass, fd *ast.FuncDecl) []DetSource {
 		switch n := n.(type) {
 		case *ast.CallExpr:
 			if desc := nondetCall(p, n); desc != "" {
-				out = append(out, DetSource{Pos: p.position(n.Lparen), Desc: desc})
+				out = append(out, TaintSource{Pos: p.position(n.Lparen), Desc: desc})
 			}
 		case *ast.SelectStmt:
 			if c := fanInCases(p, n); c >= 2 {
-				out = append(out, DetSource{
+				out = append(out, TaintSource{
 					Pos:  p.position(n.Select),
 					Desc: fmt.Sprintf("select over %d non-cancellation channels reduces in arrival order", c),
 				})
@@ -268,7 +137,7 @@ func (r *DetCheckRule) scanSources(p *Pass, fd *ast.FuncDecl) []DetSource {
 			// A receive folded inside a loop is an arrival-order
 			// reduction; a one-shot receive outside a loop is not.
 			if n.Op == token.ARROW && inLoop() && !selectRecv[n] && !isCancelChan(n.X) {
-				out = append(out, DetSource{
+				out = append(out, TaintSource{
 					Pos:  p.position(n.OpPos),
 					Desc: "channel receive inside a loop folds values in arrival order",
 				})
@@ -276,7 +145,7 @@ func (r *DetCheckRule) scanSources(p *Pass, fd *ast.FuncDecl) []DetSource {
 		case *ast.RangeStmt:
 			if tv, ok := p.Info.Types[n.X]; ok && tv.Type != nil {
 				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan && !isCancelChan(n.X) {
-					out = append(out, DetSource{
+					out = append(out, TaintSource{
 						Pos:  p.position(n.For),
 						Desc: "range over a channel collects values in arrival order",
 					})
@@ -376,87 +245,5 @@ func (r *DetCheckRule) Check(p *Pass) []Finding {
 	if fs == nil || p.Info == nil {
 		return nil
 	}
-	out := append([]Finding(nil), fs.detMalformed[p.Path]...)
-	for _, root := range fs.detRootOrder {
-		if root.Pkg() != p.Pkg {
-			continue
-		}
-		out = append(out, r.checkRoot(fs, root)...)
-	}
-	for _, d := range fs.detDirList {
-		if d.path == p.Path && !d.used {
-			out = append(out, Finding{
-				Rule: "detcheck", Pos: d.pos,
-				Message: "stale detsource excuse: no nondeterminism source on this or the next line; delete it",
-			})
-		}
-	}
-	return out
-}
-
-// detNode is one BFS entry with its parent link for chain printing.
-type detNode struct {
-	fn     *types.Func
-	parent *detNode
-}
-
-// checkRoot runs the taint walk from one deterministic root. BFS yields
-// the shortest call chain to each reached function; the visited set
-// guarantees termination on recursion and mutual recursion.
-func (r *DetCheckRule) checkRoot(fs *FactSet, root *types.Func) []Finding {
-	g := fs.CallGraph()
-	rootPos := fs.detRoots[root]
-	var out []Finding
-	queue := []*detNode{{fn: root}}
-	visited := map[*types.Func]bool{root: true}
-	for len(queue) > 0 {
-		n := queue[0]
-		queue = queue[1:]
-		for _, src := range fs.detSources[n.fn] {
-			msg := fmt.Sprintf("deterministic function %s reaches a nondeterminism source: %s at %s:%d",
-				shortFuncName(root), src.Desc, filepath.Base(src.Pos.Filename), src.Pos.Line)
-			if chain := chainString(n); chain != "" {
-				msg += " via " + chain
-			}
-			out = append(out, Finding{Rule: "detcheck", Pos: rootPos, Message: msg})
-		}
-		node := g.Node(n.fn)
-		if node == nil {
-			continue
-		}
-		for _, e := range node.Edges {
-			if visited[e.Callee] || fs.detBoundaries[e.Callee] {
-				continue
-			}
-			visited[e.Callee] = true
-			queue = append(queue, &detNode{fn: e.Callee, parent: n})
-		}
-	}
-	return out
-}
-
-// chainString renders root -> ... -> source-function. Empty when the
-// source is in the root itself.
-func chainString(n *detNode) string {
-	if n.parent == nil {
-		return ""
-	}
-	var names []string
-	for m := n; m != nil; m = m.parent {
-		names = append(names, shortFuncName(m.fn))
-	}
-	for i, j := 0, len(names)-1; i < j; i, j = i+1, j-1 {
-		names[i], names[j] = names[j], names[i]
-	}
-	return strings.Join(names, " -> ")
-}
-
-// shortFuncName renders a function with its package basename:
-// (*core.GeoMapper).Map, service.fingerprint.
-func shortFuncName(fn *types.Func) string {
-	full := fn.FullName()
-	if pkg := fn.Pkg(); pkg != nil {
-		full = strings.ReplaceAll(full, pkg.Path(), pkg.Name())
-	}
-	return full
+	return fs.det.check(p, fs.CallGraph())
 }

@@ -93,11 +93,11 @@ func argRoot() int { return 0 }
 	}
 	// The malformed detsource must NOT have registered a boundary, and the
 	// malformed root markers must not have registered roots.
-	if len(p.Facts.detBoundaries) != 0 {
-		t.Errorf("malformed detsource registered %d boundaries", len(p.Facts.detBoundaries))
+	if len(p.Facts.det.boundaries) != 0 {
+		t.Errorf("malformed detsource registered %d boundaries", len(p.Facts.det.boundaries))
 	}
-	if len(p.Facts.detRootOrder) != 1 {
-		t.Errorf("registered %d roots, want only the clean one", len(p.Facts.detRootOrder))
+	if len(p.Facts.det.rootOrder) != 1 {
+		t.Errorf("registered %d roots, want only the clean one", len(p.Facts.det.rootOrder))
 	}
 }
 
@@ -166,13 +166,13 @@ func TestDeterministicRootsResolve(t *testing.T) {
 	for _, p := range passes {
 		rule.ExportFacts(p, fs)
 	}
-	if len(fs.detRootOrder) < 10 {
-		t.Fatalf("found %d deterministic roots, expected at least 10 (Map/Remap, baselines, fingerprint, experiments)", len(fs.detRootOrder))
+	if len(fs.det.rootOrder) < 10 {
+		t.Fatalf("found %d deterministic roots, expected at least 10 (Map/Remap, baselines, fingerprint, experiments)", len(fs.det.rootOrder))
 	}
 	g := fs.CallGraph()
-	for _, fn := range fs.detRootOrder {
+	for _, fn := range fs.det.rootOrder {
 		if g.Node(fn) == nil {
-			t.Errorf("deterministic root %s (annotated at %s) has no call-graph node", fn.FullName(), fs.detRoots[fn])
+			t.Errorf("deterministic root %s (annotated at %s) has no call-graph node", fn.FullName(), fs.det.roots[fn])
 		}
 	}
 }

@@ -1,0 +1,285 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// This file is the shared backward-taint machinery behind the
+// interprocedural contract rules (detcheck, allocsafe). Both rules have
+// the same shape: a doc-comment marker declares a root function that must
+// not transitively reach a "source" (a nondeterminism source, an
+// allocation site) over the module call graph; a second marker excuses a
+// deliberate crossing, either as a function-level audited boundary (on a
+// doc comment) or as a line-level excuse with a justification. The rules
+// differ only in their markers, their messages, and their per-function
+// source scanners — everything else (annotation grammar, malformed
+// diagnostics, stale-excuse detection, BFS shortest-chain reporting)
+// lives here, parameterized by a taintSpec.
+
+// taintSpec parameterizes one taint rule's markers and message strings.
+type taintSpec struct {
+	rule         string // finding rule ID, e.g. "detcheck"
+	rootMarker   string // e.g. "//geolint:deterministic"
+	excuseMarker string // e.g. "//geolint:detsource"
+	staleMsg     string // message for a line-level excuse that excused nothing
+	reachFmt     string // Sprintf format: root name, source desc, file base, line
+}
+
+// TaintSource is one source found in a function body — a nondeterminism
+// source for detcheck, an allocation site for allocsafe.
+type TaintSource struct {
+	Pos  token.Position
+	Desc string
+}
+
+// taintDirective is one line-level excuse. It covers sources on its own
+// line and the next; the owning pass reports it when it excuses nothing.
+type taintDirective struct {
+	pos    token.Position
+	path   string // import path of the pass owning the file
+	reason string
+	used   bool
+}
+
+// taintFacts is the per-rule module-wide fact state: annotated roots and
+// boundaries, per-function sources, line-level excuses, and
+// malformed-annotation diagnostics keyed by pass path.
+type taintFacts struct {
+	spec       taintSpec
+	roots      map[*types.Func]token.Position
+	rootOrder  []*types.Func
+	boundaries map[*types.Func]bool
+	sources    map[*types.Func][]TaintSource
+	directives map[string]map[int][]*taintDirective
+	dirList    []*taintDirective
+	malformed  map[string][]Finding
+}
+
+func newTaintFacts(spec taintSpec) *taintFacts {
+	return &taintFacts{
+		spec:       spec,
+		roots:      map[*types.Func]token.Position{},
+		boundaries: map[*types.Func]bool{},
+		sources:    map[*types.Func][]TaintSource{},
+		directives: map[string]map[int][]*taintDirective{},
+		malformed:  map[string][]Finding{},
+	}
+}
+
+// exportPass runs the standard fact-phase shape for one pass: collect
+// annotations from every non-test file first (so an excuse works anywhere
+// in its file), then scan every function body with the rule's scanner,
+// dropping excused sources and skipping audited boundaries.
+func (tf *taintFacts) exportPass(p *Pass, scan func(p *Pass, fd *ast.FuncDecl) []TaintSource) {
+	if p.Info == nil {
+		return
+	}
+	for _, sf := range p.Files {
+		if sf.Test {
+			continue
+		}
+		tf.collectAnnotations(p, sf)
+	}
+	for _, sf := range p.Files {
+		if sf.Test {
+			continue
+		}
+		for _, decl := range sf.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			if tf.boundaries[fn] {
+				continue // audited boundary: its sources are deliberate
+			}
+			srcs := scan(p, fd)
+			kept := srcs[:0]
+			for _, s := range srcs {
+				if tf.excused(s.Pos) {
+					continue
+				}
+				kept = append(kept, s)
+			}
+			if len(kept) > 0 {
+				tf.sources[fn] = append(tf.sources[fn], kept...)
+			}
+		}
+	}
+}
+
+// collectAnnotations registers roots, boundaries, and line-level excuses
+// from one file, recording malformed annotations against the pass path.
+func (tf *taintFacts) collectAnnotations(p *Pass, sf *SourceFile) {
+	// Comments that are part of a function declaration's doc group carry
+	// function-level meaning; everything else is line-level.
+	doc := map[*ast.Comment]*ast.FuncDecl{}
+	for _, decl := range sf.AST.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Doc == nil {
+			continue
+		}
+		for _, c := range fd.Doc.List {
+			doc[c] = fd
+		}
+	}
+	bad := func(pos token.Position, msg string) {
+		tf.malformed[p.Path] = append(tf.malformed[p.Path], Finding{Rule: tf.spec.rule, Pos: pos, Message: msg})
+	}
+	for _, cg := range sf.AST.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(c.Text)
+			pos := p.position(c.Pos())
+			switch {
+			case text == tf.spec.rootMarker || strings.HasPrefix(text, tf.spec.rootMarker+" "):
+				fd, onFunc := doc[c]
+				if !onFunc {
+					bad(pos, tf.spec.rootMarker+" must be the doc comment of a function declaration")
+					continue
+				}
+				if text != tf.spec.rootMarker {
+					bad(pos, tf.spec.rootMarker+" takes no arguments")
+					continue
+				}
+				fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				if _, dup := tf.roots[fn]; !dup {
+					tf.roots[fn] = p.position(fd.Name.Pos())
+					tf.rootOrder = append(tf.rootOrder, fn)
+				}
+			case strings.HasPrefix(text, tf.spec.excuseMarker):
+				reason := strings.TrimSpace(strings.TrimPrefix(text, tf.spec.excuseMarker))
+				if reason == "" {
+					bad(pos, tf.spec.excuseMarker+" has no justification: want "+tf.spec.excuseMarker+" <reason>")
+					continue
+				}
+				if fd, onFunc := doc[c]; onFunc {
+					if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+						tf.boundaries[fn] = true
+					}
+					continue
+				}
+				tf.addDirective(&taintDirective{pos: pos, path: p.Path, reason: reason})
+			}
+		}
+	}
+}
+
+func (tf *taintFacts) addDirective(d *taintDirective) {
+	tf.dirList = append(tf.dirList, d)
+	byLine := tf.directives[d.pos.Filename]
+	if byLine == nil {
+		byLine = map[int][]*taintDirective{}
+		tf.directives[d.pos.Filename] = byLine
+	}
+	for _, line := range []int{d.pos.Line, d.pos.Line + 1} {
+		byLine[line] = append(byLine[line], d)
+	}
+}
+
+// excused reports whether a line-level excuse covers pos, marking every
+// covering directive used.
+func (tf *taintFacts) excused(pos token.Position) bool {
+	ds := tf.directives[pos.Filename][pos.Line]
+	for _, d := range ds {
+		d.used = true
+	}
+	return len(ds) > 0
+}
+
+// check emits this pass's malformed annotations, walks the call graph
+// from every root declared here, and reports stale line-level excuses in
+// this pass's files. It is the whole Check body of a taint rule.
+func (tf *taintFacts) check(p *Pass, g *CallGraph) []Finding {
+	out := append([]Finding(nil), tf.malformed[p.Path]...)
+	for _, root := range tf.rootOrder {
+		if root.Pkg() != p.Pkg {
+			continue
+		}
+		out = append(out, tf.checkRoot(g, root)...)
+	}
+	for _, d := range tf.dirList {
+		if d.path == p.Path && !d.used {
+			out = append(out, Finding{Rule: tf.spec.rule, Pos: d.pos, Message: tf.spec.staleMsg})
+		}
+	}
+	return out
+}
+
+// taintNode is one BFS entry with its parent link for chain printing.
+type taintNode struct {
+	fn     *types.Func
+	parent *taintNode
+}
+
+// checkRoot runs the taint walk from one root. BFS yields the shortest
+// call chain to each reached function; the visited set guarantees
+// termination on recursion and mutual recursion. Traversal follows every
+// edge mode — including go, defer, and bare function references — and
+// stops at audited boundaries.
+func (tf *taintFacts) checkRoot(g *CallGraph, root *types.Func) []Finding {
+	rootPos := tf.roots[root]
+	var out []Finding
+	queue := []*taintNode{{fn: root}}
+	visited := map[*types.Func]bool{root: true}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, src := range tf.sources[n.fn] {
+			msg := fmt.Sprintf(tf.spec.reachFmt,
+				shortFuncName(root), src.Desc, filepath.Base(src.Pos.Filename), src.Pos.Line)
+			if chain := chainString(n); chain != "" {
+				msg += " via " + chain
+			}
+			out = append(out, Finding{Rule: tf.spec.rule, Pos: rootPos, Message: msg})
+		}
+		node := g.Node(n.fn)
+		if node == nil {
+			continue
+		}
+		for _, e := range node.Edges {
+			if visited[e.Callee] || tf.boundaries[e.Callee] {
+				continue
+			}
+			visited[e.Callee] = true
+			queue = append(queue, &taintNode{fn: e.Callee, parent: n})
+		}
+	}
+	return out
+}
+
+// chainString renders root -> ... -> source-function. Empty when the
+// source is in the root itself.
+func chainString(n *taintNode) string {
+	if n.parent == nil {
+		return ""
+	}
+	var names []string
+	for m := n; m != nil; m = m.parent {
+		names = append(names, shortFuncName(m.fn))
+	}
+	for i, j := 0, len(names)-1; i < j; i, j = i+1, j-1 {
+		names[i], names[j] = names[j], names[i]
+	}
+	return strings.Join(names, " -> ")
+}
+
+// shortFuncName renders a function with its package basename:
+// (*core.GeoMapper).Map, service.fingerprint.
+func shortFuncName(fn *types.Func) string {
+	full := fn.FullName()
+	if pkg := fn.Pkg(); pkg != nil {
+		full = strings.ReplaceAll(full, pkg.Path(), pkg.Name())
+	}
+	return full
+}

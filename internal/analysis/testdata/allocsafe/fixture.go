@@ -1,0 +1,190 @@
+// Package fixture exercises the allocsafe rule: every catalog site
+// family as a true positive, plus the negatives the rule must stay quiet
+// on — pre-sized appends, non-escaping literals, audited boundaries,
+// line-level excuses, and justified ignores.
+package fixture
+
+import "fmt"
+
+// EscapeByReturn returns a slice literal through a local.
+//
+//geolint:allocfree
+func EscapeByReturn() []int { // want allocsafe
+	buf := []int{1, 2, 3}
+	return buf
+}
+
+// EscapeByCapture returns a closure that captures a local.
+//
+//geolint:allocfree
+func EscapeByCapture(start int) func() int { // want allocsafe
+	n := start
+	return func() int { n++; return n }
+}
+
+// Boxes boxes a concrete int into an interface twice: once at the var
+// declaration, once at the return.
+//
+//geolint:allocfree
+func Boxes(v int) any { // want allocsafe
+	var sink any = v
+	_ = sink
+	return v
+}
+
+// AppendGrowth appends to a slice with no reachable capacity proof.
+//
+//geolint:allocfree
+func AppendGrowth(xs []int, v int) []int { // want allocsafe
+	xs = append(xs, v)
+	return xs
+}
+
+// VariadicSlice allocates the backing slice of a variadic call.
+//
+//geolint:allocfree
+func VariadicSlice() int { // want allocsafe
+	return sum(1, 2, 3)
+}
+
+func sum(vs ...int) int {
+	t := 0
+	for _, v := range vs {
+		t += v
+	}
+	return t
+}
+
+// Transitive is clean itself but reaches make through a callee.
+//
+//geolint:allocfree
+func Transitive(n int) int { // want allocsafe
+	return helper(n)
+}
+
+func helper(n int) int {
+	buf := make([]int, n)
+	return len(buf)
+}
+
+// SpawnsGoroutine allocates a goroutine.
+//
+//geolint:allocfree
+func SpawnsGoroutine(done chan<- int) { // want allocsafe
+	go func() { done <- 1 }()
+}
+
+// DeferredCapture defers a closure that captures its parameter.
+//
+//geolint:allocfree
+func DeferredCapture(k *kernel) { // want allocsafe
+	defer func() { k.buf = nil }()
+}
+
+// Concat builds a fresh string.
+//
+//geolint:allocfree
+func Concat(a, b string) string { // want allocsafe
+	return a + b
+}
+
+// Formats routes through fmt, which boxes and builds strings.
+//
+//geolint:allocfree
+func Formats(n int) string { // want allocsafe
+	return fmt.Sprintf("n=%d", n)
+}
+
+// --- negatives: none of the roots below may produce a finding ---------
+
+type kernel struct{ buf []int }
+
+// PreSizedAppend reuses the high-water scratch: appending after a
+// self-reslice reset never grows at steady state.
+//
+//geolint:allocfree
+func (k *kernel) PreSizedAppend(xs []int) {
+	k.buf = k.buf[:0]
+	for _, v := range xs {
+		k.buf = append(k.buf, v)
+	}
+}
+
+// ResetAppend uses the one-expression reset idiom.
+//
+//geolint:allocfree
+func (k *kernel) ResetAppend(xs []int) {
+	k.buf = append(k.buf[:0], xs...)
+	for _, v := range xs {
+		k.buf = append(k.buf, v)
+	}
+}
+
+// PreSizedLocal carries a justified line excuse for its one-time make;
+// the appends are against the excused slice and provably pre-sized.
+//
+//geolint:allocfree
+func PreSizedLocal() int {
+	buf := make([]int, 0, 8) //geolint:allocsite bounded one-time scratch sized by a constant
+	for i := 0; i < 8; i++ {
+		buf = append(buf, i)
+	}
+	return len(buf)
+}
+
+// NonEscapingLiteral keeps a value-typed literal on the stack.
+//
+//geolint:allocfree
+func NonEscapingLiteral() int {
+	w := [4]int{1, 2, 3, 4}
+	t := 0
+	for _, v := range w {
+		t += v
+	}
+	return t
+}
+
+// LocalSliceLiteral never lets its slice literal escape.
+//
+//geolint:allocfree
+func LocalSliceLiteral() int {
+	s := []int{1, 2}
+	return s[0] + s[1]
+}
+
+// grow is the audited cold path that rebuilds scratch storage.
+//
+//geolint:allocsite cold path: cache rebuild amortized over many queries
+func grow(n int) []int {
+	return make([]int, n)
+}
+
+// CleanViaBoundary calls through an audited boundary; taint stops there.
+//
+//geolint:allocfree
+func CleanViaBoundary(n int) int {
+	return len(grow(n))
+}
+
+// IgnoredRoot acknowledges its finding with a justified ignore.
+//
+//geolint:allocfree
+func IgnoredRoot() []int { //geolint:ignore allocsafe fixture demonstrates suppression of an acknowledged site
+	return make([]int, 4)
+}
+
+// CallbackIteration passes a capturing closure as a plain call argument —
+// the callback-iteration idiom the compiler keeps on the stack.
+//
+//geolint:allocfree
+func CallbackIteration(xs []int) int {
+	t := 0
+	each(xs, func(v int) { t += v })
+	return t
+}
+
+func each(xs []int, fn func(int)) {
+	for _, v := range xs {
+		fn(v)
+	}
+}

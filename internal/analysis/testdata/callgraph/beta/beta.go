@@ -59,3 +59,29 @@ func Spawn() {
 func Root() {
 	Ping(3)
 }
+
+// MethodValue takes a bound method as a function value: one ref edge for
+// the reference, then a dynamic call resolved by signature identity —
+// which now includes the method itself in the address-taken set.
+func MethodValue() {
+	var t alpha.T
+	f := t.M
+	f()
+}
+
+// DeferredClosure defers a function literal: the literal's body is
+// attributed to the enclosing declaration (a static edge to Leaf), and
+// the deferred invocation is a defer-mode dynamic site.
+func DeferredClosure() {
+	defer func() {
+		alpha.Leaf()
+	}()
+}
+
+// GoInRange launches a goroutine inside a range body; the go mode must
+// survive the loop nesting.
+func GoInRange(xs []int) {
+	for range xs {
+		go alpha.Clock()
+	}
+}

@@ -219,6 +219,8 @@ func Calibrate(cloud *netmodel.Cloud, opt Options) (*Result, error) {
 	samples := o.Days * o.SamplesPerDay
 	latSamples := make([]float64, 0, samples)
 	probes := make([]float64, 0, samples)
+	var sm stats.Scratch // one trimmed-mean sort buffer for all m² pairs
+	sm.Prewarm(samples)
 	for k := 0; k < m; k++ {
 		for l := 0; l < m; l++ {
 			noise := o.InterNoise
@@ -252,8 +254,8 @@ func Calibrate(cloud *netmodel.Cloud, opt Options) (*Result, error) {
 				bt.Set(k, l, o.ProbeBytes.Per(o.ProbeTimeout).Float())
 				continue
 			}
-			latEst := stats.TrimmedMean(latSamples, o.TrimFraction)
-			probeMean := stats.TrimmedMean(probes, o.TrimFraction)
+			latEst := sm.TrimmedMean(latSamples, o.TrimFraction)
+			probeMean := sm.TrimmedMean(probes, o.TrimFraction)
 			transfer := probeMean - latEst
 			if transfer <= 0 {
 				// Noise swallowed the transfer time; fall back to the raw

@@ -41,8 +41,18 @@ type Graph struct {
 	// neighbors — a nondeterministic order would make placements differ
 	// run to run through last-ulp tie-breaks. The cache is rebuilt lazily
 	// after mutations.
+	//
+	// outCache and inCache are the analogous per-direction views behind
+	// Outgoing and Incoming. Before they existed every Cost evaluation
+	// and every refinement exchange delta rebuilt and sorted fresh edge
+	// slices from the adjacency maps — the dominant allocation source of
+	// the κ! order search, which evaluates Cost once per order.
 	neighborCache [][]Edge
 	cacheVersion  int
+	outCache      [][]Edge
+	outVersion    int
+	inCache       [][]Edge
+	inVersion     int
 	mutVersion    int
 }
 
@@ -97,6 +107,7 @@ func (g *Graph) AddTraffic(src, dst int, volume, msgs float64) {
 
 func (g *Graph) checkProc(i int) {
 	if i < 0 || i >= g.n {
+		//geolint:allocsite panic path: the message formats only on an out-of-range programmer error
 		panic(fmt.Sprintf("comm: process %d out of range [0,%d)", i, g.n)) //geolint:ignore libpanic process bounds mirror slice indexing on the profiling hot path
 	}
 }
@@ -121,17 +132,55 @@ func (g *Graph) Msgs(i, j int) float64 {
 	return 0
 }
 
-// Outgoing returns the outgoing edges of process i sorted by peer.
+// Outgoing returns the outgoing edges of process i sorted by peer. The
+// slice is owned by the graph's adjacency cache: callers must not modify
+// it, and it stays valid only until the next AddTraffic.
+//
+//geolint:allocfree
 func (g *Graph) Outgoing(i int) []Edge {
 	g.checkProc(i)
-	return sortEdges(g.out[i])
+	if g.outCache == nil || g.outVersion != g.mutVersion || g.outCache[i] == nil {
+		g.buildOutgoing(i)
+	}
+	return g.outCache[i]
 }
 
 // Incoming returns the incoming edges of process i sorted by peer. Each
-// edge's Peer field is the *sender*.
+// edge's Peer field is the *sender*. The slice is owned by the graph's
+// adjacency cache: callers must not modify it, and it stays valid only
+// until the next AddTraffic.
+//
+//geolint:allocfree
 func (g *Graph) Incoming(i int) []Edge {
 	g.checkProc(i)
-	return sortEdges(g.in[i])
+	if g.inCache == nil || g.inVersion != g.mutVersion || g.inCache[i] == nil {
+		g.buildIncoming(i)
+	}
+	return g.inCache[i]
+}
+
+// buildOutgoing (re)builds the outgoing-adjacency cache entry of process
+// i after a mutation invalidated it.
+//
+//geolint:allocsite cold path: cache rebuild after mutation, amortized over the hot-loop reads
+func (g *Graph) buildOutgoing(i int) {
+	if g.outCache == nil || g.outVersion != g.mutVersion {
+		g.outCache = make([][]Edge, g.n)
+		g.outVersion = g.mutVersion
+	}
+	g.outCache[i] = sortEdges(g.out[i]) // non-nil even when empty: marks the entry as built
+}
+
+// buildIncoming (re)builds the incoming-adjacency cache entry of process
+// i after a mutation invalidated it.
+//
+//geolint:allocsite cold path: cache rebuild after mutation, amortized over the hot-loop reads
+func (g *Graph) buildIncoming(i int) {
+	if g.inCache == nil || g.inVersion != g.mutVersion {
+		g.inCache = make([][]Edge, g.n)
+		g.inVersion = g.mutVersion
+	}
+	g.inCache[i] = sortEdges(g.in[i]) // non-nil even when empty: marks the entry as built
 }
 
 func sortEdges(m map[int]*Edge) []Edge {
@@ -146,6 +195,8 @@ func sortEdges(m map[int]*Edge) []Edge {
 // Neighbors calls fn for every process j that exchanges traffic with i in
 // either direction, with the combined volume CG(i,j)+CG(j,i) and message
 // count AG(i,j)+AG(j,i), in ascending peer order (deterministic).
+//
+//geolint:allocfree
 func (g *Graph) Neighbors(i int, fn func(j int, volume, msgs float64)) {
 	g.checkProc(i)
 	for _, e := range g.neighbors(i) {
@@ -156,50 +207,64 @@ func (g *Graph) Neighbors(i int, fn func(j int, volume, msgs float64)) {
 // neighbors returns i's cached combined-direction adjacency, rebuilding
 // the cache if the graph changed since the last build.
 func (g *Graph) neighbors(i int) []Edge {
-	if g.neighborCache == nil || g.cacheVersion != g.mutVersion {
-		g.neighborCache = make([][]Edge, g.n)
-		g.cacheVersion = g.mutVersion
-	}
-	if g.neighborCache[i] == nil {
-		combined := make(map[int]*Edge, len(g.out[i])+len(g.in[i]))
-		for j, e := range g.out[i] {
-			combined[j] = &Edge{Peer: j, Volume: e.Volume, Msgs: e.Msgs}
-		}
-		for j, e := range g.in[i] {
-			if c := combined[j]; c != nil {
-				c.Volume += e.Volume
-				c.Msgs += e.Msgs
-				continue
-			}
-			combined[j] = &Edge{Peer: j, Volume: e.Volume, Msgs: e.Msgs}
-		}
-		list := make([]Edge, 0, len(combined))
-		for _, e := range combined {
-			list = append(list, *e)
-		}
-		sort.Slice(list, func(a, b int) bool { return list[a].Peer < list[b].Peer })
-		if len(list) == 0 {
-			list = []Edge{} // non-nil marks the entry as built
-		}
-		g.neighborCache[i] = list
+	if g.neighborCache == nil || g.cacheVersion != g.mutVersion || g.neighborCache[i] == nil {
+		g.buildNeighbors(i)
 	}
 	return g.neighborCache[i]
 }
 
-// Prewarm builds the combined-direction adjacency cache for every process
-// so that subsequent Neighbors and Quantity calls are read-only. The lazy
-// rebuild in neighbors is not synchronized; callers that share a graph
-// across goroutines (the parallel κ! order search) must prewarm it first
-// and refrain from AddTraffic while readers are live.
+// buildNeighbors (re)builds the combined-direction adjacency cache entry
+// of process i after a mutation invalidated it.
+//
+//geolint:allocsite cold path: cache rebuild after mutation, amortized over the hot-loop reads
+func (g *Graph) buildNeighbors(i int) {
+	if g.neighborCache == nil || g.cacheVersion != g.mutVersion {
+		g.neighborCache = make([][]Edge, g.n)
+		g.cacheVersion = g.mutVersion
+	}
+	combined := make(map[int]*Edge, len(g.out[i])+len(g.in[i]))
+	for j, e := range g.out[i] {
+		combined[j] = &Edge{Peer: j, Volume: e.Volume, Msgs: e.Msgs}
+	}
+	for j, e := range g.in[i] {
+		if c := combined[j]; c != nil {
+			c.Volume += e.Volume
+			c.Msgs += e.Msgs
+			continue
+		}
+		combined[j] = &Edge{Peer: j, Volume: e.Volume, Msgs: e.Msgs}
+	}
+	list := make([]Edge, 0, len(combined))
+	for _, e := range combined {
+		list = append(list, *e)
+	}
+	sort.Slice(list, func(a, b int) bool { return list[a].Peer < list[b].Peer })
+	if len(list) == 0 {
+		list = []Edge{} // non-nil marks the entry as built
+	}
+	g.neighborCache[i] = list
+}
+
+// Prewarm builds every adjacency cache (combined-direction, outgoing,
+// incoming) for every process so that subsequent Neighbors, Quantity,
+// Outgoing, and Incoming calls are read-only. The lazy rebuilds are not
+// synchronized; callers that share a graph across goroutines (the
+// parallel κ! order search, the serving path's memoized workload graphs)
+// must prewarm it first and refrain from AddTraffic while readers are
+// live.
 func (g *Graph) Prewarm() {
 	for i := 0; i < g.n; i++ {
 		g.neighbors(i)
+		g.Outgoing(i)
+		g.Incoming(i)
 	}
 }
 
 // Quantity returns the total communication quantity of process i — the sum
 // of bytes it sends and receives. Algorithm 1 selects the "process with the
 // heaviest communication quantity" by this measure.
+//
+//geolint:allocfree
 func (g *Graph) Quantity(i int) float64 {
 	g.checkProc(i)
 	var q float64

@@ -175,7 +175,10 @@ func (p *Problem) Bandwidth(k, l int) units.BytesPerSec { return units.BytesPerS
 
 // Cost evaluates the paper's Formula 4: the total α–β communication cost of
 // a placement. The placement is not re-validated; call CheckPlacement first
-// when the placement comes from outside the library.
+// when the placement comes from outside the library. Cost runs once per
+// examined order in the κ! search, so it must not allocate.
+//
+//geolint:allocfree
 func (p *Problem) Cost(pl Placement) units.Cost {
 	lat, bw := p.CostParts(pl)
 	return lat + bw
@@ -183,6 +186,8 @@ func (p *Problem) Cost(pl Placement) units.Cost {
 
 // CostParts splits the cost into its latency term (ΣAG·LT) and bandwidth
 // term (ΣCG/BT), which the ablation benchmarks compare.
+//
+//geolint:allocfree
 func (p *Problem) CostParts(pl Placement) (latency, bandwidth units.Cost) {
 	n := p.N()
 	for i := 0; i < n; i++ {

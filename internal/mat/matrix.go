@@ -99,6 +99,7 @@ func (m *Matrix) check(i, j int) {
 	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
 		// At/Set/Add sit on the cost-evaluation hot path; bounds violations
 		// are programmer bugs, reported like slice-index panics.
+		//geolint:allocsite panic path: the message formats only on an out-of-range programmer error
 		panic(fmt.Sprintf("mat: index (%d,%d) out of range for %d×%d matrix", i, j, m.rows, m.cols)) //geolint:ignore libpanic index bounds mirror built-in slice indexing on the cost hot path
 	}
 }

@@ -331,6 +331,17 @@ type conKey struct {
 type constraintSet struct {
 	ids        map[conKey]int
 	capacities []units.BytesPerSec
+
+	// Scratch reused across maxMinRates calls. The progressive-filling
+	// solver reruns at every flow arrival or completion — O(F) times per
+	// phase — so its working arrays are hoisted here and rebuilt with the
+	// append-reset idiom instead of being reallocated per event. A
+	// constraintSet belongs to one solveFluid call, so the scratch is
+	// never shared across goroutines (Simulator itself stays read-only).
+	rates    []units.BytesPerSec
+	residual []units.BytesPerSec
+	counts   []int
+	frozen   []bool
 }
 
 func newConstraintSet() *constraintSet {
@@ -349,17 +360,28 @@ func (cs *constraintSet) id(key conKey, capacity units.BytesPerSec) int {
 
 // maxMinRates computes the max-min fair allocation for the active flows by
 // progressive filling: repeatedly saturate the tightest constraint, freeze
-// its flows at the fair share, and subtract.
+// its flows at the fair share, and subtract. The returned slice is the
+// set's scratch buffer: it is valid until the next maxMinRates call.
+//
+//geolint:allocfree
 func (cs *constraintSet) maxMinRates(flows []*flowState) []units.BytesPerSec {
-	rates := make([]units.BytesPerSec, len(flows))
-	residual := append([]units.BytesPerSec(nil), cs.capacities...)
-	counts := make([]int, len(cs.capacities))
+	cs.rates = cs.rates[:0]
+	cs.frozen = cs.frozen[:0]
+	for range flows {
+		cs.rates = append(cs.rates, 0)
+		cs.frozen = append(cs.frozen, false)
+	}
+	cs.residual = append(cs.residual[:0], cs.capacities...)
+	cs.counts = cs.counts[:0]
+	for range cs.capacities {
+		cs.counts = append(cs.counts, 0)
+	}
+	rates, residual, counts, frozen := cs.rates, cs.residual, cs.counts, cs.frozen
 	for _, f := range flows {
 		for _, c := range f.constraints {
 			counts[c]++
 		}
 	}
-	frozen := make([]bool, len(flows))
 	remaining := len(flows)
 	for remaining > 0 {
 		// Tightest constraint: min residual/count over constraints with

@@ -275,6 +275,7 @@ type Gauger struct {
 	// (copied into the locked status view at the end of each pass).
 	pass          int
 	winLT, winBT  [][]float64
+	sm            stats.Scratch // reused by smooth's trimmed means, one window at a time
 	lastDead      []int
 	consecFails   int
 	consecOKs     int
@@ -436,8 +437,8 @@ func (g *Gauger) smooth(res *calib.Result) (*mat.Matrix, *mat.Matrix) {
 			i := k*g.m + l
 			g.winLT[i] = pushWindow(g.winLT[i], res.LT.At(k, l), g.cfg.Window)
 			g.winBT[i] = pushWindow(g.winBT[i], res.BT.At(k, l), g.cfg.Window)
-			smLT.Set(k, l, stats.TrimmedMean(g.winLT[i], g.cfg.TrimFraction))
-			smBT.Set(k, l, stats.TrimmedMean(g.winBT[i], g.cfg.TrimFraction))
+			smLT.Set(k, l, g.sm.TrimmedMean(g.winLT[i], g.cfg.TrimFraction))
+			smBT.Set(k, l, g.sm.TrimmedMean(g.winBT[i], g.cfg.TrimFraction))
 		}
 	}
 	return smLT, smBT

@@ -41,22 +41,49 @@ func Mean(xs []float64) float64 {
 // ratio-derived windows where a zero denominator upstream would otherwise
 // propagate forever. An all-non-finite sample returns 0.
 func TrimmedMean(xs []float64, frac float64) float64 {
+	s := Scratch{buf: make([]float64, 0, len(xs))}
+	return s.TrimmedMean(xs, frac)
+}
+
+// Scratch backs the allocation-free variants of the sorting-based
+// estimators. The repeated consumers — the re-gauging drift detector
+// smooths every site pair's sample window once per gauging pass, and the
+// calibrator trims every probe batch — hold one Scratch and reuse its
+// buffer across calls instead of copying the input per call. The zero
+// value is ready; the buffer grows to the largest sample seen and is then
+// reused, so steady-state calls do not allocate (Prewarm sizes it
+// eagerly). A Scratch is not safe for concurrent use.
+type Scratch struct {
+	buf []float64
+}
+
+// Prewarm sizes the buffer for samples of up to n values so that even the
+// first estimator call is allocation-free.
+//
+//geolint:allocsite cold path: one-time buffer sizing ahead of the measured calls
+func (s *Scratch) Prewarm(n int) {
+	if cap(s.buf) < n {
+		s.buf = make([]float64, 0, n)
+	}
+}
+
+// TrimmedMean is the allocation-free variant of the package-level
+// TrimmedMean: identical semantics bit for bit (same non-finite filter,
+// frac clamping, trim count, and Mean fallback), with the sorted copy
+// living in the reusable buffer.
+//
+//geolint:allocfree
+func (s *Scratch) TrimmedMean(xs []float64, frac float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
-	finite := xs
+	s.buf = s.buf[:0]
 	for _, x := range xs {
-		if math.IsNaN(x) || math.IsInf(x, 0) {
-			// First bad sample found: rebuild with only the finite ones.
-			finite = make([]float64, 0, len(xs))
-			for _, y := range xs {
-				if !math.IsNaN(y) && !math.IsInf(y, 0) {
-					finite = append(finite, y)
-				}
-			}
-			break
+		if !math.IsNaN(x) && !math.IsInf(x, 0) {
+			s.buf = append(s.buf, x)
 		}
 	}
+	finite := s.buf
 	if len(finite) == 0 {
 		return 0
 	}
@@ -70,9 +97,37 @@ func TrimmedMean(xs []float64, frac float64) float64 {
 	if 2*cut >= len(finite) {
 		return Mean(finite)
 	}
-	sorted := append([]float64(nil), finite...)
+	sort.Float64s(finite)
+	return Mean(finite[cut : len(finite)-cut])
+}
+
+// Percentile is the allocation-free variant of the package-level
+// Percentile, with the same contract (and the same panics on an empty
+// slice or out-of-domain p).
+//
+//geolint:allocfree
+func (s *Scratch) Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Percentile of empty slice") //geolint:ignore libpanic documented contract: empty-sample percentile mirrors slice indexing
+	}
+	if p < 0 || p > 100 {
+		//geolint:allocsite panic path: the message formats only on an out-of-domain programmer error
+		panic(fmt.Sprintf("stats: percentile %v out of range [0,100]", p)) //geolint:ignore libpanic documented contract: out-of-domain p is a programmer error
+	}
+	s.buf = append(s.buf[:0], xs...)
+	sorted := s.buf
 	sort.Float64s(sorted)
-	return Mean(sorted[cut : len(sorted)-cut])
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
 // Variance returns the unbiased sample variance of xs (n-1 denominator).
@@ -127,25 +182,8 @@ func Max(xs []float64) float64 {
 // interpolation between closest ranks. It panics on an empty slice or a
 // p outside [0, 100].
 func Percentile(xs []float64, p float64) float64 {
-	if len(xs) == 0 {
-		panic("stats: Percentile of empty slice") //geolint:ignore libpanic documented contract: empty-sample percentile mirrors slice indexing
-	}
-	if p < 0 || p > 100 {
-		panic(fmt.Sprintf("stats: percentile %v out of range [0,100]", p)) //geolint:ignore libpanic documented contract: out-of-domain p is a programmer error
-	}
-	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
-	if len(sorted) == 1 {
-		return sorted[0]
-	}
-	rank := p / 100 * float64(len(sorted)-1)
-	lo := int(math.Floor(rank))
-	hi := int(math.Ceil(rank))
-	if lo == hi {
-		return sorted[lo]
-	}
-	frac := rank - float64(lo)
-	return sorted[lo]*(1-frac) + sorted[hi]*frac
+	s := Scratch{buf: make([]float64, 0, len(xs))}
+	return s.Percentile(xs, p)
 }
 
 // CDF is an empirical cumulative distribution function over a sample.

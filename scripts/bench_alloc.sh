@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# bench-alloc: zero-allocation gate for the //geolint:allocfree hot paths.
+# Runs the BenchmarkAlloc* family with -benchmem across the packages that
+# hold annotated roots (core cost/fill/refinement, comm adjacency views,
+# stats Scratch estimators, netsim rate solver), writes the measurements
+# to results/BENCH_alloc.json, and fails if any benchmark reports a
+# nonzero allocs/op — the dynamic counterpart of the static allocsafe
+# rule. ns/op is recorded as informational context only; it is not gated.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+out=${1:-results/BENCH_alloc.json}
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench '^BenchmarkAlloc' -benchmem -benchtime 1000x \
+    ./internal/core ./internal/comm ./internal/stats ./internal/netsim \
+    | tee "$tmp"
+
+# Parse `go test -bench` output lines of the form
+#   BenchmarkAllocCost-8   1000   1458 ns/op   0 B/op   0 allocs/op
+# into a JSON array, and collect violators.
+awk -v out="$out" '
+BEGIN { n = 0; bad = "" }
+$1 ~ /^BenchmarkAlloc/ && $NF == "allocs/op" {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns[n] = $3; bytes[n] = $5; allocs[n] = $7; names[n] = name
+    if ($7 + 0 != 0) bad = bad " " name
+    n++
+}
+END {
+    printf "[\n" > out
+    for (i = 0; i < n; i++) {
+        printf "  {\"benchmark\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
+            names[i], ns[i], bytes[i], allocs[i], (i < n - 1 ? "," : "") > out
+    }
+    printf "]\n" > out
+    if (n == 0) { print "bench-alloc: no BenchmarkAlloc results parsed" > "/dev/stderr"; exit 1 }
+    if (bad != "") { print "bench-alloc: nonzero allocs/op in:" bad > "/dev/stderr"; exit 1 }
+}
+' "$tmp"
+
+echo "bench-alloc: $(grep -c benchmark "$out") benchmarks, all 0 allocs/op -> $out"
