@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race faults serve-smoke regauge-smoke bench-orders bench-alloc check
+.PHONY: all build vet lint test race faults serve-smoke regauge-smoke multilevel-smoke bench-orders bench-alloc bench-refine check
 
 all: check
 
@@ -26,7 +26,7 @@ test:
 # re-gauging control loop), plus the analysis loader's concurrent
 # type-check waves.
 race:
-	$(GO) test -race ./internal/mpi/... ./internal/netsim/... ./internal/service/... ./internal/core/... ./internal/regauge/...
+	$(GO) test -race ./internal/mpi/... ./internal/netsim/... ./internal/service/... ./internal/core/... ./internal/regauge/... ./internal/multilevel/...
 	$(GO) test -race -run TestLoadParallelDeterministic ./internal/analysis
 
 # Fault-injection smoke: replay LU through the FlakyWAN preset and run the
@@ -48,6 +48,13 @@ serve-smoke:
 regauge-smoke:
 	./scripts/regauge_smoke.sh
 
+# Multilevel smoke: map a 16-site, 4096-process instance with the
+# multilevel pipeline at Workers = 1 and Workers = GOMAXPROCS under a
+# wall-clock budget; the run fails unless the two placements are
+# byte-identical.
+multilevel-smoke:
+	./scripts/multilevel_smoke.sh
+
 # Serial-vs-parallel order-search baseline: full-scale sweep (κ = 6..8,
 # N = 64/256) written to results/BENCH_orders.json. Speedup depends on
 # host core count, which the report records.
@@ -62,4 +69,11 @@ bench-orders:
 bench-alloc:
 	./scripts/bench_alloc.sh
 
-check: build vet lint test race faults serve-smoke regauge-smoke bench-alloc
+# Refinement ns/move baseline: the BenchmarkRefineMove* family measures
+# the multilevel local-search hot path (move/swap deltas, candidate scan,
+# full proposal sweep) and fails on any nonzero allocs/op. Measurements
+# land in results/BENCH_refine.json.
+bench-refine:
+	./scripts/bench_refine.sh
+
+check: build vet lint test race faults serve-smoke regauge-smoke multilevel-smoke bench-alloc bench-refine

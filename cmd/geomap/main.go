@@ -30,7 +30,7 @@ func main() {
 		n        = flag.Int("n", 64, "number of processes (one per instance)")
 		regions  = flag.String("regions", strings.Join(netmodel.PaperEC2Regions, ","), "comma-separated EC2 regions")
 		instance = flag.String("instance", "m4.xlarge", "EC2 instance type")
-		algo     = flag.String("algo", "geo", "mapper: geo, greedy, mpipp, random, montecarlo")
+		algo     = flag.String("algo", "geo", "mapper: geo, multilevel, greedy, mpipp, random, montecarlo")
 		kappa    = flag.Int("kappa", 4, "number of K-means site groups for the geo mapper")
 		workers  = flag.Int("workers", 0, "order-search goroutines for the geo mapper (0 = GOMAXPROCS, 1 = serial)")
 		ratio    = flag.Float64("constraints", 0.2, "data-movement constraint ratio")
@@ -68,6 +68,8 @@ func main() {
 	switch *algo {
 	case "geo":
 		mapper = &core.GeoMapper{Kappa: *kappa, Seed: *seed, Workers: *workers}
+	case "multilevel":
+		mapper = &core.MultilevelGeoMapper{Kappa: *kappa, Seed: *seed, Workers: *workers}
 	case "greedy":
 		mapper = &baselines.Greedy{}
 	case "mpipp":

@@ -41,7 +41,7 @@ func main() {
 	var (
 		appName   = flag.String("app", "LU", "workload: LU, BT, SP, K-means, DNN")
 		n         = flag.Int("n", 64, "number of processes (multiple of 4)")
-		algo      = flag.String("algo", "geo", "mapper: geo, greedy, mpipp, random")
+		algo      = flag.String("algo", "geo", "mapper: geo, multilevel, greedy, mpipp, random")
 		engine    = flag.String("engine", "replay", "simulation engine: replay, fluid, ps")
 		iters     = flag.Int("iters", 0, "iterations (0 = workload default)")
 		ratio     = flag.Float64("constraints", 0.2, "data-movement constraint ratio")
@@ -117,6 +117,8 @@ func main() {
 	switch *algo {
 	case "geo":
 		mapper = &core.GeoMapper{Kappa: 4, Seed: *seed}
+	case "multilevel":
+		mapper = &core.MultilevelGeoMapper{Kappa: 4, Seed: *seed}
 	case "greedy":
 		mapper = &baselines.Greedy{}
 	case "mpipp":

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"geoprocmap/internal/stats"
+)
+
+// TestMultilevelMapperFeasible runs the multilevel mapper over the same
+// problem shapes the flat heuristic is tested on: plain clustered traffic,
+// pinned processes, and per-process allowed site sets.
+func TestMultilevelMapperFeasible(t *testing.T) {
+	cases := []struct {
+		name string
+		prob *Problem
+	}{
+		{"plain", clusteredProblem(96, 6, 11)},
+		{"pinned", func() *Problem {
+			p := clusteredProblem(96, 6, 12)
+			for i := 0; i < 12; i++ {
+				p.Constraint[i*8] = i % 6
+			}
+			return p
+		}()},
+		{"sitesets", siteSetProblem(84, 6, 13)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mm := &MultilevelGeoMapper{Kappa: 4, Seed: 7}
+			pl, err := mm.Map(tc.prob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tc.prob.CheckPlacement(pl); err != nil {
+				t.Fatalf("infeasible placement: %v", err)
+			}
+			for i, c := range tc.prob.Constraint {
+				if c != Unconstrained && pl[i] != c {
+					t.Fatalf("process %d pinned to %d but placed on %d", i, c, pl[i])
+				}
+			}
+		})
+	}
+}
+
+// TestMultilevelSeedDeterminism is the digest gate the mapper's doc comment
+// promises: identical problems and seeds yield byte-identical placements and
+// bit-identical costs at every worker count, including GOMAXPROCS.
+func TestMultilevelSeedDeterminism(t *testing.T) {
+	probs := map[string]func() *Problem{
+		"plain":    func() *Problem { return clusteredProblem(128, 8, 3) },
+		"sitesets": func() *Problem { return siteSetProblem(112, 8, 4) },
+	}
+	for name, mk := range probs {
+		t.Run(name, func(t *testing.T) {
+			ref, err := (&MultilevelGeoMapper{Kappa: 4, Seed: 9, Workers: 1}).Map(mk())
+			if err != nil {
+				t.Fatal(err)
+			}
+			refCost := mk().Cost(ref).Float()
+			for _, w := range []int{2, 3, 5, runtime.GOMAXPROCS(0)} {
+				pl, err := (&MultilevelGeoMapper{Kappa: 4, Seed: 9, Workers: w}).Map(mk())
+				if err != nil {
+					t.Fatalf("workers=%d: %v", w, err)
+				}
+				for i := range ref {
+					if pl[i] != ref[i] {
+						t.Fatalf("workers=%d: placement diverges at %d: %d vs %d", w, i, pl[i], ref[i])
+					}
+				}
+				if c := mk().Cost(pl).Float(); math.Float64bits(c) != math.Float64bits(refCost) {
+					t.Fatalf("workers=%d: cost %v, want bit-identical %v", w, c, refCost)
+				}
+			}
+		})
+	}
+}
+
+// TestMultilevelQuality checks the multilevel pipeline lands in the same
+// cost regime as the flat paper heuristic on a clustered workload — the
+// coarsening must not destroy the clique structure the cost model rewards —
+// and comfortably beats a feasible random placement.
+func TestMultilevelQuality(t *testing.T) {
+	p := clusteredProblem(128, 6, 21)
+	ml, err := (&MultilevelGeoMapper{Kappa: 4, Seed: 21}).Map(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	geo, err := (&GeoMapper{Kappa: 4, Seed: 21}).Map(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mlCost := p.Cost(ml).Float()
+	geoCost := p.Cost(geo).Float()
+	if mlCost > 1.25*geoCost {
+		t.Errorf("multilevel cost %v vs flat heuristic %v (> 1.25x)", mlCost, geoCost)
+	}
+	rnd, err := RandomPlacement(p, stats.NewRand(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc := p.Cost(rnd).Float(); mlCost > 0.8*rc {
+		t.Errorf("multilevel cost %v not clearly better than random %v", mlCost, rc)
+	}
+}
+
+// TestMultilevelKappaValidation mirrors the flat mapper's guard rails.
+func TestMultilevelKappaValidation(t *testing.T) {
+	p := clusteredProblem(24, 4, 1)
+	if _, err := (&MultilevelGeoMapper{Kappa: MaxKappa + 1}).Map(p); err == nil {
+		t.Error("kappa > MaxKappa accepted")
+	}
+	if _, err := (&MultilevelGeoMapper{Kappa: -2}).Map(p); err == nil {
+		t.Error("negative kappa accepted")
+	}
+	if _, err := (&MultilevelGeoMapper{}).Map(p); err != nil {
+		t.Errorf("default kappa rejected: %v", err)
+	}
+}
+
+// TestMultilevelTightSiteSets replays the flat mapper's tight-packing
+// regression: capacities exactly filled under overlapping small allowed
+// sets. Whether the greedy fill or the repair fallback produces it, the
+// placement must be feasible.
+func TestMultilevelTightSiteSets(t *testing.T) {
+	masks := []byte{0xae, 0x23, 0xb6, 0x41, 0xe3, 0x3e, 0x5c, 0x53}
+	p := clusteredProblem(8, 4, -5635030028237787357)
+	p.Allowed = make([][]int, 8)
+	for i := range p.Allowed {
+		for s := 0; s < 4; s++ {
+			if masks[i]&(1<<uint(s)) != 0 {
+				p.Allowed[i] = append(p.Allowed[i], s)
+			}
+		}
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	pl, err := (&MultilevelGeoMapper{Kappa: 3, Seed: -5635030028237787357}).Map(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CheckPlacement(pl); err != nil {
+		t.Fatalf("infeasible placement: %v", err)
+	}
+}
+
+// TestMultilevelQuickFeasible fuzzes random allowed-set masks, mirroring
+// TestQuickSiteSetsFeasible for the multilevel path.
+func TestMultilevelQuickFeasible(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := stats.NewRand(seed)
+		n := 4 + rng.Intn(16)
+		m := 2 + rng.Intn(3)
+		p := clusteredProblem(n, m, seed)
+		p.Allowed = make([][]int, n)
+		for i := 0; i < n; i++ {
+			mask := rng.Intn(1 << uint(m))
+			for s := 0; s < m; s++ {
+				if mask&(1<<uint(s)) != 0 {
+					p.Allowed[i] = append(p.Allowed[i], s)
+				}
+			}
+		}
+		if p.Validate() != nil {
+			continue // infeasible mask draw; skip
+		}
+		pl, err := (&MultilevelGeoMapper{Kappa: 3, Seed: seed}).Map(p)
+		if err != nil {
+			t.Fatalf("seed %d (n=%d m=%d): %v", seed, n, m, err)
+		}
+		if err := p.CheckPlacement(pl); err != nil {
+			t.Fatalf("seed %d: infeasible: %v", seed, err)
+		}
+	}
+}

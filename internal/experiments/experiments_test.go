@@ -26,7 +26,8 @@ func parsePct(t *testing.T, s string) float64 {
 func TestRegistryComplete(t *testing.T) {
 	ids := IDs()
 	want := []string{"table1", "table2", "table3", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-		"azure", "contention", "collectives", "multiconstraint", "headline", "manysites", "robustness", "orders", "regauge"}
+		"azure", "contention", "collectives", "multiconstraint", "headline", "manysites", "robustness", "orders", "regauge",
+		"multilevel", "mlsmoke"}
 	if len(ids) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(ids), len(want))
 	}

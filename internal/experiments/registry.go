@@ -32,6 +32,8 @@ var registry = map[string]Func{
 	"robustness":      ExtRobustness,
 	"orders":          OrderSearch,
 	"regauge":         ExtRegauge,
+	"multilevel":      ExtMultilevel,
+	"mlsmoke":         MultilevelSmoke,
 }
 
 // IDs returns all experiment identifiers in a stable order (tables first,
@@ -51,7 +53,7 @@ func expOrder(id string) int {
 		"fig3": 10, "fig4": 11, "fig5": 12, "fig6": 13,
 		"fig7": 14, "fig8": 15, "fig9": 16, "fig10": 17,
 		"azure": 20, "contention": 21, "collectives": 22, "multiconstraint": 23, "headline": 24, "manysites": 25,
-		"robustness": 26, "orders": 27, "regauge": 28,
+		"robustness": 26, "orders": 27, "regauge": 28, "multilevel": 29, "mlsmoke": 30,
 	}
 	if o, ok := order[id]; ok {
 		return o

@@ -1,0 +1,179 @@
+package multilevel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+)
+
+// Options tunes the multilevel solver. The zero value selects defaults
+// sized for the paper's workloads.
+type Options struct {
+	// CoarsestVertices is the coarsening target: contraction stops once
+	// the graph has at most this many super-vertices. Zero selects
+	// max(32, 4·M) — a few super-vertices per site, so the coarsest-level
+	// order search stays quadratic in a small constant.
+	CoarsestVertices int
+	// MaxWeight caps a super-vertex's process count. Zero selects
+	// ceil(N / CoarsestVertices), clamped to the largest site capacity.
+	MaxWeight int
+	// RefinePasses bounds the proposal/commit sweeps per level (early exit
+	// when a sweep applies nothing). Zero selects 3.
+	RefinePasses int
+	// MaxOrders caps the coarsest-level group-order enumeration. Zero
+	// selects 720 (6! — every order for κ ≤ 6, a lexicographic prefix
+	// beyond).
+	MaxOrders int
+	// MaxLevels bounds the hierarchy depth. Zero selects 40.
+	MaxLevels int
+	// Workers is the refinement parallelism. Zero selects GOMAXPROCS;
+	// any value yields byte-identical placements.
+	Workers int
+}
+
+func (o Options) withDefaults(n, m int) Options {
+	if o.CoarsestVertices <= 0 {
+		o.CoarsestVertices = 4 * m
+		if o.CoarsestVertices < 32 {
+			o.CoarsestVertices = 32
+		}
+	}
+	if o.MaxWeight <= 0 {
+		o.MaxWeight = (n + o.CoarsestVertices - 1) / o.CoarsestVertices
+	}
+	if o.RefinePasses <= 0 {
+		o.RefinePasses = 3
+	}
+	if o.MaxOrders <= 0 {
+		o.MaxOrders = 720
+	}
+	if o.MaxLevels <= 0 {
+		o.MaxLevels = 40
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0) //geolint:detsource worker count only; the proposal/commit reduction makes the result identical at any count
+	}
+	return o
+}
+
+// Stats reports what the solver did — level counts for the experiment
+// report, move/swap counts for tuning.
+type Stats struct {
+	Levels       int // hierarchy depth including level 0
+	CoarsestN    int // vertex count of the coarsest level
+	InitialLevel int // level the initial map succeeded at (normally the coarsest)
+	Passes       int // refinement sweeps that applied at least one step
+	Moves        int // applied single-vertex moves
+	Swaps        int // applied pairwise swaps
+}
+
+// ErrInfeasible reports that no level admitted a feasible weighted greedy
+// fill — the caller should fall back to an exact assignment (e.g. the
+// augmenting-path repair over the flat problem).
+var ErrInfeasible = errors.New("multilevel: no feasible initial mapping at any level")
+
+// Solve runs the full coarsen → initial-map → uncoarsen+refine pipeline
+// and returns a feasible placement for the level-0 graph. The result is
+// byte-identical at any Options.Workers value.
+func Solve(in *Instance, opt Options) ([]int, Stats, error) {
+	var st Stats
+	if err := validate(in); err != nil {
+		return nil, st, err
+	}
+	n, m := in.G.n, in.M()
+	opt = opt.withDefaults(n, m)
+
+	h := coarsen(in, opt.CoarsestVertices, opt.MaxWeight, opt.MaxLevels)
+	st.Levels = len(h)
+	st.CoarsestN = h[len(h)-1].g.n
+
+	// Initial map at the coarsest level; if its super-vertices are too
+	// chunky to pack (tight capacities, adversarial pins), retry one level
+	// finer — level 0 has unit weights, where the greedy fill only fails
+	// on problems needing augmenting-path repair.
+	li := len(h) - 1
+	var pl []int
+	for {
+		var err error
+		pl, err = newInitialMapper(in, h[li], opt.MaxOrders).run()
+		if err == nil {
+			break
+		}
+		if li == 0 {
+			return nil, st, ErrInfeasible
+		}
+		li--
+	}
+	st.InitialLevel = li
+
+	r := newRefiner(in, opt.Workers, opt.RefinePasses)
+	for l := li; ; l-- {
+		r.attach(h[l])
+		r.refine(pl)
+		if l == 0 {
+			break
+		}
+		pl = project(h[l-1], pl)
+	}
+	st.Passes = r.totalPasses
+	st.Moves = r.moves
+	st.Swaps = r.swaps
+	return pl, st, nil
+}
+
+// Refine polishes an existing feasible level-0 placement in place with the
+// multilevel refiner (no coarsening) — the fallback path after an external
+// repair, and a reusable local-search primitive.
+func Refine(in *Instance, pl []int, opt Options) error {
+	if err := validate(in); err != nil {
+		return err
+	}
+	if len(pl) != in.G.n {
+		return fmt.Errorf("multilevel: placement has length %d, want %d", len(pl), in.G.n)
+	}
+	opt = opt.withDefaults(in.G.n, in.M())
+	lv := &level{
+		g:       in.G,
+		pin:     in.Pin,
+		allowed: normalizeAllowed(in.Allowed, in.G.n),
+	}
+	r := newRefiner(in, opt.Workers, opt.RefinePasses)
+	r.attach(lv)
+	r.refine(pl)
+	return nil
+}
+
+// project expands a coarse placement one level finer via the contraction
+// map recorded on the finer level.
+func project(finer *level, coarse []int) []int {
+	pl := make([]int, finer.g.n)
+	for v := range pl {
+		pl[v] = coarse[finer.toCoarse[v]]
+	}
+	return pl
+}
+
+// validate checks the instance's structural invariants (the caller — core —
+// has already validated the semantic ones via Problem.Validate).
+func validate(in *Instance) error {
+	if in.G == nil || in.G.n == 0 {
+		return fmt.Errorf("multilevel: empty graph")
+	}
+	m := in.M()
+	if m == 0 {
+		return fmt.Errorf("multilevel: no sites")
+	}
+	if in.LT == nil || in.BT == nil {
+		return fmt.Errorf("multilevel: nil LT/BT matrix")
+	}
+	if len(in.Pin) != in.G.n {
+		return fmt.Errorf("multilevel: pin vector has length %d, want %d", len(in.Pin), in.G.n)
+	}
+	if len(in.Allowed) != 0 && len(in.Allowed) != in.G.n {
+		return fmt.Errorf("multilevel: allowed sets have length %d, want %d", len(in.Allowed), in.G.n)
+	}
+	if len(in.Groups) == 0 {
+		return fmt.Errorf("multilevel: no site groups")
+	}
+	return nil
+}

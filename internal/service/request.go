@@ -39,8 +39,8 @@ type MapRequest struct {
 	// Allowed optionally restricts each process to a set of admissible
 	// sites (the multi-site constraint extension).
 	Allowed [][]int `json:"allowed,omitempty"`
-	// Algorithm selects the mapper: geo (default), greedy, mpipp,
-	// random, montecarlo.
+	// Algorithm selects the mapper: geo (default), multilevel, greedy,
+	// mpipp, random, montecarlo.
 	Algorithm string `json:"algorithm,omitempty"`
 	// Kappa is the geo mapper's group count (0 = default).
 	Kappa int `json:"kappa,omitempty"`
@@ -162,6 +162,8 @@ func (r *MapRequest) Mapper(solverWorkers int) (core.Mapper, error) {
 	switch r.Algorithm {
 	case "", "geo":
 		return &core.GeoMapper{Kappa: r.Kappa, Seed: r.Seed, Workers: solverWorkers}, nil
+	case "multilevel":
+		return &core.MultilevelGeoMapper{Kappa: r.Kappa, Seed: r.Seed, Workers: solverWorkers}, nil
 	case "greedy":
 		return &baselines.Greedy{}, nil
 	case "mpipp":

@@ -100,6 +100,31 @@ func TestMapDeterministicAcrossServers(t *testing.T) {
 	}
 }
 
+// TestMapMultilevelAlgorithm exercises the multilevel mapper through the
+// full service path: the request validates, the solver pool hands it the
+// per-solve worker budget, and — because the refiner's deterministic
+// reduction is worker-count independent — servers with different
+// SolverWorkers settings return identical digests.
+func TestMapMultilevelAlgorithm(t *testing.T) {
+	req := MapRequest{Workload: "LU", Procs: 64, Seed: 5, Algorithm: "multilevel"}
+	digests := make([]string, 2)
+	for i, sw := range []int{1, 2} {
+		srv := newTestServer(t, Config{Workers: 1, SolverWorkers: sw})
+		var resp MapResponse
+		postMap(t, srv.Handler(), req, http.StatusOK, &resp)
+		if resp.Algorithm != "Multilevel" {
+			t.Errorf("algorithm = %q, want Multilevel", resp.Algorithm)
+		}
+		if len(resp.Placement) != 64 || resp.Cost <= 0 {
+			t.Fatalf("implausible result: %d procs, cost %g", len(resp.Placement), resp.Cost)
+		}
+		digests[i] = resp.Digest
+	}
+	if digests[0] != digests[1] {
+		t.Errorf("solver workers changed the multilevel digest: %s vs %s", digests[0], digests[1])
+	}
+}
+
 func TestMapConstraintsAndExplicitEdges(t *testing.T) {
 	srv := newTestServer(t, Config{})
 	h := srv.Handler()

@@ -2,7 +2,8 @@
 # bench-alloc: zero-allocation gate for the //geolint:allocfree hot paths.
 # Runs the BenchmarkAlloc* family with -benchmem across the packages that
 # hold annotated roots (core cost/fill/refinement, comm adjacency views,
-# stats Scratch estimators, netsim rate solver), writes the measurements
+# stats Scratch estimators, netsim rate solver, multilevel refinement
+# proposal sweep), writes the measurements
 # to results/BENCH_alloc.json, and fails if any benchmark reports a
 # nonzero allocs/op — the dynamic counterpart of the static allocsafe
 # rule. ns/op is recorded as informational context only; it is not gated.
@@ -14,7 +15,7 @@ tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
 go test -run '^$' -bench '^BenchmarkAlloc' -benchmem -benchtime 1000x \
-    ./internal/core ./internal/comm ./internal/stats ./internal/netsim \
+    ./internal/core ./internal/comm ./internal/stats ./internal/netsim ./internal/multilevel \
     | tee "$tmp"
 
 # Parse `go test -bench` output lines of the form

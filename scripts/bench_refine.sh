@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# bench-refine: ns/move baseline for the multilevel refinement hot path.
+# Runs the BenchmarkRefineMove* family (move delta, swap delta, full
+# per-vertex candidate scan, whole proposal sweep) with -benchmem, writes
+# the measurements to results/BENCH_refine.json, and fails if any
+# benchmark reports a nonzero allocs/op — the refinement inner loop is a
+# //geolint:allocfree root and must stay allocation-free under load.
+# ns/op is the tracked figure of merit; it is recorded, not gated.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+out=${1:-results/BENCH_refine.json}
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench '^BenchmarkRefineMove' -benchmem -benchtime 1000x \
+    ./internal/multilevel \
+    | tee "$tmp"
+
+# Parse `go test -bench` output lines of the form
+#   BenchmarkRefineMoveDelta-8   1000   82 ns/op   0 B/op   0 allocs/op
+# into a JSON array, and collect violators.
+awk -v out="$out" '
+BEGIN { n = 0; bad = "" }
+$1 ~ /^BenchmarkRefineMove/ && $NF == "allocs/op" {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns[n] = $3; bytes[n] = $5; allocs[n] = $7; names[n] = name
+    if ($7 + 0 != 0) bad = bad " " name
+    n++
+}
+END {
+    printf "[\n" > out
+    for (i = 0; i < n; i++) {
+        printf "  {\"benchmark\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
+            names[i], ns[i], bytes[i], allocs[i], (i < n - 1 ? "," : "") > out
+    }
+    printf "]\n" > out
+    if (n == 0) { print "bench-refine: no BenchmarkRefineMove results parsed" > "/dev/stderr"; exit 1 }
+    if (bad != "") { print "bench-refine: nonzero allocs/op in:" bad > "/dev/stderr"; exit 1 }
+}
+' "$tmp"
+
+echo "bench-refine: $(grep -c benchmark "$out") benchmarks, all 0 allocs/op -> $out"

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# multilevel-smoke: end-to-end gate for the multilevel mapper. Runs the
+# mlsmoke experiment — one 16-site, 4096-process instance mapped at
+# Workers = 1 and Workers = GOMAXPROCS — under a wall-clock budget. The
+# experiment itself fails unless the two placements are byte-identical,
+# so a hang, a worker-count-dependent divergence, or an infeasible
+# placement all fail this script.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+budget=${MULTILEVEL_SMOKE_BUDGET:-120}
+
+timeout "$budget" go run ./cmd/geobench -exp mlsmoke -out results -json
+
+echo "multilevel-smoke: digest identical across worker counts (budget ${budget}s)"
