@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race faults serve-smoke regauge-smoke multilevel-smoke bench-orders bench-alloc bench-refine check
+.PHONY: all build vet lint test race faults serve-smoke serve-cluster regauge-smoke multilevel-smoke bench-orders bench-alloc bench-refine check
 
 all: check
 
@@ -41,6 +41,15 @@ faults:
 serve-smoke:
 	./scripts/serve_smoke.sh
 
+# Cluster smoke: boot a 3-daemon fleet wired via -peers (each pinned to
+# GOMAXPROCS=1), and require byte-identical geoload digests between the
+# single-node baseline and the hash-routed and round-robin fleet runs,
+# nonzero cross-node peer_hits, >= 2x aggregate throughput on hosts with
+# at least 4 cores (reported but unenforced under the single-core
+# ceiling), and a clean SIGTERM drain of all three daemons.
+serve-cluster:
+	./scripts/serve_cluster_smoke.sh
+
 # Re-gauging smoke: boot geomapd with the closed calibration loop live
 # against FlakyWAN at a fast timescale, and require at least one
 # automatic snapshot publication, at least one hysteresis-suppressed
@@ -76,4 +85,4 @@ bench-alloc:
 bench-refine:
 	./scripts/bench_refine.sh
 
-check: build vet lint test race faults serve-smoke regauge-smoke multilevel-smoke bench-alloc bench-refine
+check: build vet lint test race faults serve-smoke serve-cluster regauge-smoke multilevel-smoke bench-alloc bench-refine

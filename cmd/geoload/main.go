@@ -15,6 +15,14 @@
 //
 //	geoload -url http://127.0.0.1:8080 -n 200 -c 8
 //	geoload -url http://$(cat /tmp/geomapd.addr) -mix 0.8,0.15,0.05
+//	geoload -url http://127.0.0.1:8081,http://127.0.0.1:8082,http://127.0.0.1:8083
+//
+// -url accepts a comma-separated fleet; -route picks how requests are
+// spread over it: "hash" (default) computes the same consistent-hash
+// ring a -peers cluster uses server-side, so each request lands on its
+// shard owner, while "rr" round-robins and exercises the cluster's
+// peer-consult path. Responses are deterministic either way, so the
+// digest matches the single-daemon run at any fleet size.
 package main
 
 import (
@@ -43,7 +51,8 @@ import (
 
 func main() {
 	var (
-		url         = flag.String("url", "http://127.0.0.1:8080", "geomapd base URL")
+		url         = flag.String("url", "http://127.0.0.1:8080", "geomapd base URL, or a comma-separated fleet of them")
+		route       = flag.String("route", "hash", "multi-URL routing policy: hash (ring-route each request to its shard owner, matching the servers' ring) or rr (round-robin)")
 		requests    = flag.Int("n", 200, "total requests to issue")
 		concurrency = flag.Int("c", 8, "concurrent closed-loop workers")
 		mix         = flag.String("mix", "0.70,0.20,0.10", "cached,novel,constrained request fractions")
@@ -96,6 +105,17 @@ func main() {
 		reqs[i] = r
 	}
 
+	// Each request's target daemon is fixed up front — a pure function of
+	// the URL list and the request stream, independent of worker timing.
+	// hash routing computes the same ring the servers share, so requests
+	// land directly on their shard owners; rr exercises the peer-consult
+	// path instead. Responses are deterministic either way, so the folded
+	// digest is identical at any fleet size and under either policy.
+	targets, err := routeTargets(*url, *route, reqs)
+	if err != nil {
+		fatal(err)
+	}
+
 	results := make([]outcome, *requests)
 	client := &http.Client{Timeout: *timeout}
 	next := make(chan int, *concurrency)
@@ -110,7 +130,7 @@ func main() {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				results[i] = post(client, *url, &reqs[i], *retries, *retryBase, jitter)
+				results[i] = post(client, targets[i], &reqs[i], *retries, *retryBase, jitter)
 			}
 		}()
 	}
@@ -223,6 +243,42 @@ func post(client *http.Client, base string, req *service.MapRequest, maxRetries 
 		out.digest = mr.Digest
 		return
 	}
+}
+
+// routeTargets resolves each request's target daemon from the -url list
+// and the routing policy. A single URL short-circuits; "hash" builds the
+// same consistent-hash ring the servers share (so client-side routing
+// and server-side ownership agree and shard misses are rare); "rr"
+// spreads requests round-robin, deliberately hitting non-owners.
+func routeTargets(urlList, policy string, reqs []service.MapRequest) ([]string, error) {
+	urls := strings.Split(urlList, ",")
+	for i := range urls {
+		urls[i] = service.NormalizePeerURL(urls[i])
+	}
+	targets := make([]string, len(reqs))
+	if len(urls) == 1 {
+		for i := range targets {
+			targets[i] = urls[0]
+		}
+		return targets, nil
+	}
+	switch policy {
+	case "hash":
+		ring, err := service.NewRing(urls)
+		if err != nil {
+			return nil, err
+		}
+		for i := range reqs {
+			targets[i] = ring.Owner(service.RoutingKey(&reqs[i]))
+		}
+	case "rr":
+		for i := range targets {
+			targets[i] = urls[i%len(urls)]
+		}
+	default:
+		return nil, fmt.Errorf("-route must be hash or rr, got %q", policy)
+	}
+	return targets, nil
 }
 
 // parseMix parses "a,b,c" fractions summing to ~1.

@@ -24,6 +24,14 @@
 //	geomapd -regions us-east,eu-west -nodes 32 -workers 8
 //	geomapd -calib -days 3                     # bootstrap snapshot from calibration
 //	geomapd -regauge -faults FlakyWAN -regauge-timescale 300
+//	geomapd -addr :8081 -self http://127.0.0.1:8081 \
+//	        -peers http://127.0.0.1:8081,http://127.0.0.1:8082,http://127.0.0.1:8083
+//
+// With -peers the daemon joins a sharded fleet: request routing keys are
+// consistent-hashed across the peer list, a shard miss consults the
+// owning peer before solving locally, and every snapshot publication —
+// admin posts and re-gauging alike — replicates to all peers
+// version-ordered, so replays are idempotent.
 //
 // SIGTERM or SIGINT starts a graceful drain: the listener stops
 // accepting, in-flight requests finish, the solve queue empties, and
@@ -72,6 +80,10 @@ func main() {
 		maxProcs    = flag.Int("max-procs", 4096, "largest accepted process count")
 		deadline    = flag.Duration("deadline", 30*time.Second, "default per-request solve deadline")
 		showVersion = flag.Bool("version", false, "print version and exit")
+
+		peers       = flag.String("peers", "", "comma-separated base URLs of the whole fleet including this daemon (enables cluster mode; every daemon must get the same list)")
+		selfURL     = flag.String("self", "", "this daemon's own base URL as it appears in -peers (required with -peers)")
+		peerTimeout = flag.Duration("peer-timeout", 10*time.Second, "per-peer HTTP timeout for result fetches and snapshot replication")
 
 		faultSpec   = flag.String("faults", "", "fault schedule the re-gauging probes run against: preset name (FlakyWAN, SiteBlackout, DiurnalDrift) or JSON file")
 		maxStale    = flag.Duration("max-staleness", 0, "snapshot age past which /healthz answers 503 (0 = report age only)")
@@ -125,8 +137,34 @@ func main() {
 	}
 
 	logger := log.New(os.Stderr, "geomapd: ", log.LstdFlags)
+
+	// -peers switches on cluster mode: the fleet shares one consistent-hash
+	// ring over request routing keys, snapshot publications replicate to
+	// every peer, and shard misses consult the owning peer before solving
+	// locally. The regauge loop publishes through the replicator so its
+	// refreshed models reach the whole fleet.
+	var cluster *service.Cluster
+	var publisher regauge.SnapshotPublisher = store
+	if *peers != "" {
+		if *selfURL == "" {
+			fatal(fmt.Errorf("-peers requires -self (this daemon's URL as listed in -peers)"))
+		}
+		cluster, err = service.NewCluster(service.ClusterConfig{
+			Self:    *selfURL,
+			Peers:   strings.Split(*peers, ","),
+			Timeout: *peerTimeout,
+			Logf:    logger.Printf,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		publisher = service.NewReplicator(store, cluster)
+		logger.Printf("cluster: %d-node fleet, self %s", cluster.Ring().Size(), cluster.Self())
+	}
+
 	srv, err := service.NewServer(service.Config{
 		Store:           store,
+		Cluster:         cluster,
 		Workers:         *workers,
 		SolverWorkers:   *solverWkrs,
 		QueueDepth:      *queueDepth,
@@ -147,7 +185,7 @@ func main() {
 	if *regaugeOn {
 		g, err := regauge.New(regauge.Config{
 			Cloud:          cloud,
-			Store:          store,
+			Store:          publisher,
 			Source:         regauge.ServerSource{Server: srv},
 			Faults:         sched,
 			Seed:           *seed,

@@ -42,6 +42,15 @@ import (
 	"geoprocmap/internal/units"
 )
 
+// SnapshotPublisher is where the gauger reads the serving model and
+// publishes refreshed snapshots. *service.Store satisfies it directly;
+// *service.Replicator wraps a store with cluster fan-out so a clustered
+// daemon's publications reach every peer version-ordered.
+type SnapshotPublisher interface {
+	Current() *service.Snapshot
+	Publish(*service.Snapshot) (uint64, error)
+}
+
 // Gauger modes, in escalation order.
 const (
 	ModeOK         = "ok"         // last pass clean, publication live
@@ -71,8 +80,10 @@ type Config struct {
 	// Cloud is the synthetic network the reduced-budget passes probe;
 	// required.
 	Cloud *netmodel.Cloud
-	// Store receives published snapshots; required.
-	Store *service.Store
+	// Store receives published snapshots; required. A single-node daemon
+	// passes its *service.Store directly; a clustered one passes a
+	// *service.Replicator so every publication fans out to the fleet.
+	Store SnapshotPublisher
 	// Source supplies the placements to re-evaluate after a publication
 	// and applies remapped results back. nil walks nothing.
 	Source TargetSource

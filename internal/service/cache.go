@@ -139,7 +139,11 @@ func (c *resultCache) do(ctx context.Context, key string, req *MapRequest, solve
 		case <-f.done:
 			return f.res, true, f.err
 		case <-ctx.Done():
-			return nil, true, ctx.Err()
+			// The waiter's own deadline fired before the leader finished:
+			// nothing was shared. Reporting shared=true here would
+			// misclassify the outcome upstream — a timed-out waiter must
+			// count as a timeout, not a dedup.
+			return nil, false, ctx.Err()
 		}
 	}
 	f := &flight{done: make(chan struct{})}

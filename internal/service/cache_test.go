@@ -96,8 +96,10 @@ func TestSingleflightWaiterHonorsContext(t *testing.T) {
 		t.Error("waiter must not start its own solve")
 		return nil, nil
 	})
-	if !shared || err != context.DeadlineExceeded {
-		t.Errorf("waiter got shared=%v err=%v, want shared deadline error", shared, err)
+	// A waiter whose own deadline fires shared nothing: shared must be
+	// false so the server tallies the request as a timeout, not a dedup.
+	if shared || err != context.DeadlineExceeded {
+		t.Errorf("waiter got shared=%v err=%v, want unshared deadline error", shared, err)
 	}
 	close(release)
 }

@@ -1,0 +1,348 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"geoprocmap/internal/mat"
+)
+
+// ForwardedHeader marks a request one daemon forwarded to the shard
+// owner on a cache miss. Its presence tells the owner to solve locally
+// no matter what its own ring says, so a misconfigured fleet can bounce
+// a request at most once instead of looping.
+const ForwardedHeader = "X-Geomapd-Forwarded"
+
+// ClusterConfig assembles a Cluster. Zero values select the noted
+// defaults.
+type ClusterConfig struct {
+	// Self is this daemon's own base URL as it appears in Peers;
+	// required.
+	Self string
+	// Peers is the full fleet membership including Self; required. Every
+	// daemon and every routing client must be configured with the same
+	// list (order and trailing slashes do not matter).
+	Peers []string
+	// Timeout bounds one peer HTTP call — a result fetch or one
+	// replication fan-out leg (default 10 s).
+	Timeout time.Duration
+	// Logf receives peer-failure log lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Cluster is a daemon's view of its fleet: the consistent-hash ring
+// deciding which peer owns each routing key, an HTTP client for
+// consulting owners and fanning out snapshots, and passively observed
+// per-peer health. All methods are safe for concurrent use.
+type Cluster struct {
+	self   string
+	ring   *Ring
+	client *http.Client
+	logf   func(format string, args ...any)
+
+	// healthMu guards only the health map; it is never held across a
+	// peer round-trip.
+	healthMu sync.Mutex
+	health   map[string]*peerHealth
+}
+
+// peerHealth is the passively observed state of one peer, updated on
+// every fetch or replication attempt.
+type peerHealth struct {
+	Failures  int    // consecutive failures (0 = last contact succeeded)
+	Successes uint64 // lifetime successful calls
+	LastError string // most recent failure, "" after a success
+}
+
+// NewCluster validates the fleet configuration and builds the ring.
+// Self must be one of Peers.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	ring, err := NewRing(cfg.Peers)
+	if err != nil {
+		return nil, err
+	}
+	if ring.Size() < 2 {
+		return nil, fmt.Errorf("service: a cluster needs at least 2 peers, got %d", ring.Size())
+	}
+	self := NormalizePeerURL(cfg.Self)
+	found := false
+	for _, p := range ring.Peers() {
+		if p == self {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("service: self %q is not in the peer list %v", cfg.Self, ring.Peers())
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 10 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	c := &Cluster{
+		self:   self,
+		ring:   ring,
+		client: &http.Client{Timeout: cfg.Timeout},
+		logf:   cfg.Logf,
+		health: make(map[string]*peerHealth, ring.Size()-1),
+	}
+	for _, p := range ring.Peers() {
+		if p != self {
+			c.health[p] = &peerHealth{}
+		}
+	}
+	return c, nil
+}
+
+// Self returns this daemon's normalized base URL.
+func (c *Cluster) Self() string { return c.self }
+
+// Ring exposes the fleet's hash ring (geoload builds the identical ring
+// client-side from the same URL list).
+func (c *Cluster) Ring() *Ring { return c.ring }
+
+// Owner returns the peer URL owning a routing key.
+func (c *Cluster) Owner(key string) string { return c.ring.Owner(key) }
+
+// IsSelf reports whether url names this daemon.
+func (c *Cluster) IsSelf(url string) bool { return url == c.self }
+
+// FetchResult consults the shard owner for a request this daemon does
+// not own: the request is re-posted to peer with ForwardedHeader set, so
+// the owner solves (or serves its cache) locally. The owner's result is
+// returned verbatim; the caller decides whether its snapshot version is
+// acceptable.
+func (c *Cluster) FetchResult(ctx context.Context, peer string, req *MapRequest) (*MapResult, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, peer+"/v1/map", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set(ForwardedHeader, c.self)
+	resp, err := c.client.Do(hreq)
+	if err != nil {
+		c.observe(peer, err)
+		return nil, err
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close() //geolint:ignore errcheck best-effort close of a response body already read to EOF
+	if err != nil {
+		c.observe(peer, err)
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		// The peer is up but refused (shedding, draining, bad request);
+		// that is a routing miss, not a peer-health event — a shedding
+		// owner must not be marked dead.
+		return nil, fmt.Errorf("peer %s answered %d: %.120s", peer, resp.StatusCode, data)
+	}
+	var mr MapResponse
+	if err := json.Unmarshal(data, &mr); err != nil {
+		c.observe(peer, err)
+		return nil, err
+	}
+	c.observe(peer, nil)
+	return &mr.MapResult, nil
+}
+
+// Replicate fans a freshly published snapshot out to every peer,
+// version-ordered: each peer applies it via Store.PublishAt, which
+// ignores versions at or below its own, so replays and races are
+// idempotent. Legs run concurrently and each is bounded by the cluster
+// timeout; the returned map carries one entry per peer (nil = applied
+// or already current). A failed leg leaves that peer on its previous
+// snapshot until the next publication reaches it — the documented
+// catch-up behavior.
+func (c *Cluster) Replicate(snap *Snapshot) map[string]error {
+	upd := replicationUpdate(snap)
+	body, err := json.Marshal(upd)
+	if err != nil {
+		// A snapshot that marshaled into the store cannot fail here;
+		// belt and braces for future field types.
+		c.logf("cluster: encoding replication v%d: %v", snap.Version, err)
+		return nil
+	}
+	// Legs land in a slice indexed by the sorted peer list and are folded
+	// after the barrier, so collection order — and therefore logging and
+	// the returned map — is a function of the fleet configuration alone,
+	// not of which peer answered first.
+	peers := c.ring.Peers()
+	errs := make([]error, len(peers))
+	var wg sync.WaitGroup
+	for i, p := range peers {
+		if p == c.self {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, peer string) {
+			defer wg.Done()
+			errs[i] = c.replicateTo(peer, body)
+		}(i, p)
+	}
+	wg.Wait()
+	out := make(map[string]error, len(peers)-1)
+	for i, p := range peers {
+		if p == c.self {
+			continue
+		}
+		out[p] = errs[i]
+		if errs[i] != nil {
+			c.logf("cluster: replicating v%d to %s: %v", snap.Version, p, errs[i])
+		}
+	}
+	return out
+}
+
+// replicateTo posts one replication message to one peer.
+func (c *Cluster) replicateTo(peer string, body []byte) error {
+	resp, err := c.client.Post(peer+"/admin/snapshot", "application/json", bytes.NewReader(body))
+	if err != nil {
+		c.observe(peer, err)
+		return err
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close() //geolint:ignore errcheck best-effort close of a response body already read to EOF
+	if err != nil {
+		c.observe(peer, err)
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		err := fmt.Errorf("peer answered %d: %.120s", resp.StatusCode, data)
+		c.observe(peer, err)
+		return err
+	}
+	c.observe(peer, nil)
+	return nil
+}
+
+// replicationUpdate renders a published snapshot as the admin-endpoint
+// message a peer can apply verbatim. The concrete matrices travel — not
+// the fault report that may have produced them — so replication never
+// depends on peers agreeing about base snapshots.
+func replicationUpdate(snap *Snapshot) SnapshotUpdate {
+	return SnapshotUpdate{
+		Source:   snap.Source,
+		LT:       matrixRows(snap.LT),
+		BT:       matrixRows(snap.BT),
+		Degraded: snap.Degraded,
+		Derived:  snap.derived,
+		Version:  snap.Version,
+	}
+}
+
+// matrixRows copies a matrix into the row-major JSON shape of
+// SnapshotUpdate.
+func matrixRows(m *mat.Matrix) [][]float64 {
+	out := make([][]float64, m.Rows())
+	for i := range out {
+		out[i] = m.Row(i)
+	}
+	return out
+}
+
+// observe updates a peer's passive health from one call's outcome.
+func (c *Cluster) observe(peer string, err error) {
+	c.healthMu.Lock()
+	defer c.healthMu.Unlock()
+	h, ok := c.health[peer]
+	if !ok {
+		return
+	}
+	if err != nil {
+		h.Failures++
+		h.LastError = err.Error()
+		return
+	}
+	h.Failures = 0
+	h.Successes++
+	h.LastError = ""
+}
+
+// PeerStatus is one peer's health block in /healthz and /metrics.
+type PeerStatus struct {
+	Peer      string `json:"peer"`
+	Healthy   bool   `json:"healthy"`
+	Failures  int    `json:"consecutive_failures,omitempty"`
+	Successes uint64 `json:"successes"`
+	LastError string `json:"last_error,omitempty"`
+}
+
+// StatusProbe renders the cluster block for the server's component
+// status mechanism: self, fleet size, and per-peer health in peer-name
+// order. ok is false while any peer's last contact failed — surfacing
+// "degraded" in /healthz without failing the daemon, because a node
+// with dead peers still serves soundly by solving locally.
+func (c *Cluster) StatusProbe() (any, bool) {
+	c.healthMu.Lock()
+	names := make([]string, 0, len(c.health))
+	for p := range c.health {
+		names = append(names, p)
+	}
+	sort.Strings(names)
+	peers := make([]PeerStatus, 0, len(names))
+	ok := true
+	for _, p := range names {
+		h := c.health[p]
+		healthy := h.Failures == 0
+		if !healthy {
+			ok = false
+		}
+		peers = append(peers, PeerStatus{
+			Peer:      p,
+			Healthy:   healthy,
+			Failures:  h.Failures,
+			Successes: h.Successes,
+			LastError: h.LastError,
+		})
+	}
+	c.healthMu.Unlock()
+	return map[string]any{
+		"self":  c.self,
+		"size":  c.ring.Size(),
+		"peers": peers,
+	}, ok
+}
+
+// Replicator pairs a snapshot store with the cluster fan-out: Publish
+// installs locally first (assigning the version), then pushes the same
+// version to every peer. It satisfies the regauge loop's publisher
+// interface, so a clustered daemon's re-gauging publications reach the
+// whole fleet with no changes to the loop itself.
+type Replicator struct {
+	store   *Store
+	cluster *Cluster
+}
+
+// NewReplicator wires a store to a cluster.
+func NewReplicator(store *Store, cluster *Cluster) *Replicator {
+	return &Replicator{store: store, cluster: cluster}
+}
+
+// Current returns the local store's current snapshot.
+func (r *Replicator) Current() *Snapshot { return r.store.Current() }
+
+// Publish installs snap locally, then replicates it at its assigned
+// version. Peer failures are logged by the cluster and never fail the
+// local publication — the origin daemon must keep serving the freshest
+// model it has.
+func (r *Replicator) Publish(snap *Snapshot) (uint64, error) {
+	version, err := r.store.Publish(snap)
+	if err != nil {
+		return 0, err
+	}
+	r.cluster.Replicate(snap)
+	return version, nil
+}

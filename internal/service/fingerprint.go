@@ -72,6 +72,20 @@ func fingerprint(r *MapRequest, snapshotVersion uint64) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// routingVersion is the snapshot-version sentinel RoutingKey hashes in
+// place of a real version. Store versions start at 1 and only ever
+// increase, so routing keys can never collide with cache keys.
+const routingVersion = ^uint64(0)
+
+// RoutingKey is the cluster routing key of a request: its fingerprint
+// independent of any snapshot version. Shard ownership must not change
+// when a snapshot is published (that would migrate every cache entry),
+// and clients cannot know the fleet's current version — so routing
+// hashes the request alone while cache keys keep embedding the version.
+//
+//geolint:deterministic
+func RoutingKey(r *MapRequest) string { return fingerprint(r, routingVersion) }
+
 // PlacementDigest is the canonical SHA-256 of a placement vector — the
 // digest carried in MapResult.Digest. Exported so the re-gauging loop
 // (and the offline replay scenario) can stamp remapped results with the

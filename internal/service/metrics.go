@@ -24,10 +24,17 @@ type Metrics struct {
 	rejected   uint64 // queue-full sheds
 	timeouts   uint64 // deadline exceeded
 	snapshots  uint64 // snapshot publications observed via RecordSnapshot
-	reqLat     *ring
-	solveLat   *ring
-	inflight   int
-	maxInflate int // high-water mark of concurrent requests
+	peerHits   uint64 // shard misses filled by the owning peer (cluster mode)
+	forwarded  uint64 // requests received from a peer's shard-miss consult
+	peerErrors uint64 // failed peer consults that fell back to a local solve
+	// reqLat holds served requests only. Sheds and timeouts land in
+	// shedLat: a storm of microsecond 503s must not drag the reported
+	// service percentiles down exactly when the daemon is least healthy.
+	reqLat      *ring
+	shedLat     *ring
+	solveLat    *ring
+	inflight    int
+	maxInflight int // high-water mark of concurrent requests
 }
 
 // ring is a fixed-capacity overwrite-oldest sample buffer.
@@ -58,7 +65,11 @@ func (r *ring) samples() []float64 {
 
 // NewMetrics returns an empty counter set.
 func NewMetrics() *Metrics {
-	return &Metrics{reqLat: newRing(latencyWindow), solveLat: newRing(latencyWindow)}
+	return &Metrics{
+		reqLat:   newRing(latencyWindow),
+		shedLat:  newRing(latencyWindow),
+		solveLat: newRing(latencyWindow),
+	}
 }
 
 // RequestStarted marks a request in flight.
@@ -66,29 +77,40 @@ func (m *Metrics) RequestStarted() {
 	m.mu.Lock()
 	m.requests++
 	m.inflight++
-	if m.inflight > m.maxInflate {
-		m.maxInflate = m.inflight
+	if m.inflight > m.maxInflight {
+		m.maxInflight = m.inflight
 	}
 	m.mu.Unlock()
 }
 
 // RequestFinished records a request's end-to-end seconds and outcome.
+// Served outcomes (solved, cached, deduped, peer-filled) enter the
+// request-latency window; sheds, timeouts, and errors are recorded in
+// their own window so overload cannot pollute the serving percentiles.
 func (m *Metrics) RequestFinished(seconds float64, outcome Outcome) {
 	m.mu.Lock()
 	m.inflight--
-	m.reqLat.add(seconds)
 	switch outcome {
 	case OutcomeCached:
 		m.cacheHits++
+		m.reqLat.add(seconds)
 	case OutcomeDeduped:
 		m.deduped++
+		m.reqLat.add(seconds)
+	case OutcomePeer:
+		m.peerHits++
+		m.reqLat.add(seconds)
 	case OutcomeSolved:
+		m.reqLat.add(seconds)
 	case OutcomeRejected:
 		m.rejected++
+		m.shedLat.add(seconds)
 	case OutcomeTimeout:
 		m.timeouts++
+		m.shedLat.add(seconds)
 	case OutcomeError:
 		m.errors++
+		m.shedLat.add(seconds)
 	}
 	m.mu.Unlock()
 }
@@ -108,6 +130,22 @@ func (m *Metrics) RecordSnapshot() {
 	m.mu.Unlock()
 }
 
+// RecordForwarded notes a request that arrived carrying ForwardedHeader
+// — this daemon answered as the shard owner for a peer's miss.
+func (m *Metrics) RecordForwarded() {
+	m.mu.Lock()
+	m.forwarded++
+	m.mu.Unlock()
+}
+
+// RecordPeerError notes a failed peer consult (the request fell back to
+// a local solve).
+func (m *Metrics) RecordPeerError() {
+	m.mu.Lock()
+	m.peerErrors++
+	m.mu.Unlock()
+}
+
 // Outcome classifies how a request ended.
 type Outcome int
 
@@ -116,6 +154,7 @@ const (
 	OutcomeSolved Outcome = iota
 	OutcomeCached
 	OutcomeDeduped
+	OutcomePeer // served by fetching the owning peer's result
 	OutcomeRejected
 	OutcomeTimeout
 	OutcomeError
@@ -132,28 +171,35 @@ type LatencySummary struct {
 
 // View is the point-in-time JSON shape of /metrics.
 type View struct {
-	Requests       uint64         `json:"requests"`
-	CacheHits      uint64         `json:"cache_hits"`
-	Deduped        uint64         `json:"deduped"`
-	Solves         uint64         `json:"solves"`
-	Errors         uint64         `json:"errors"`
-	Rejected       uint64         `json:"rejected"`
-	Timeouts       uint64         `json:"timeouts"`
-	Snapshots      uint64         `json:"snapshot_publications"`
-	HitRate        float64        `json:"cache_hit_rate"`
-	Inflight       int            `json:"inflight"`
-	MaxInflight    int            `json:"max_inflight"`
-	QueueDepth     int            `json:"queue_depth"`
-	CacheEntries   int            `json:"cache_entries"`
-	PoolWorkers    int            `json:"pool_workers,omitempty"`
-	SolverWorkers  int            `json:"solver_workers,omitempty"`
+	Requests      uint64  `json:"requests"`
+	CacheHits     uint64  `json:"cache_hits"`
+	Deduped       uint64  `json:"deduped"`
+	Solves        uint64  `json:"solves"`
+	Errors        uint64  `json:"errors"`
+	Rejected      uint64  `json:"rejected"`
+	Timeouts      uint64  `json:"timeouts"`
+	Snapshots     uint64  `json:"snapshot_publications"`
+	PeerHits      uint64  `json:"peer_hits,omitempty"`
+	Forwarded     uint64  `json:"forwarded,omitempty"`
+	PeerErrors    uint64  `json:"peer_errors,omitempty"`
+	HitRate       float64 `json:"cache_hit_rate"`
+	Inflight      int     `json:"inflight"`
+	MaxInflight   int     `json:"max_inflight"`
+	QueueDepth    int     `json:"queue_depth"`
+	CacheEntries  int     `json:"cache_entries"`
+	PoolWorkers   int     `json:"pool_workers,omitempty"`
+	SolverWorkers int     `json:"solver_workers,omitempty"`
+	// RequestLatency digests served requests only; ShedLatency holds the
+	// rejected/timed-out/errored remainder.
 	RequestLatency LatencySummary `json:"request_latency"`
+	ShedLatency    LatencySummary `json:"shed_latency,omitempty"`
 	SolveLatency   LatencySummary `json:"solve_latency"`
 	// SnapshotAgeSeconds is how long the current snapshot has been the
 	// newest one, as observed by the read path (see Server.snapshotAge).
 	SnapshotAgeSeconds float64 `json:"snapshot_age_seconds"`
 	// Components carries the registered auxiliary status blocks (e.g. the
-	// re-gauging loop's view), keyed by probe name.
+	// re-gauging loop's view or the cluster's peer health), keyed by
+	// probe name.
 	Components map[string]any `json:"components,omitempty"`
 }
 
@@ -171,8 +217,11 @@ func (m *Metrics) Snapshot(queueDepth, cacheEntries int) View {
 		Rejected:     m.rejected,
 		Timeouts:     m.timeouts,
 		Snapshots:    m.snapshots,
+		PeerHits:     m.peerHits,
+		Forwarded:    m.forwarded,
+		PeerErrors:   m.peerErrors,
 		Inflight:     m.inflight,
-		MaxInflight:  m.maxInflate,
+		MaxInflight:  m.maxInflight,
 		QueueDepth:   queueDepth,
 		CacheEntries: cacheEntries,
 	}
@@ -180,6 +229,7 @@ func (m *Metrics) Snapshot(queueDepth, cacheEntries int) View {
 		v.HitRate = float64(m.cacheHits) / float64(m.requests)
 	}
 	v.RequestLatency = summarize(m.reqLat.samples())
+	v.ShedLatency = summarize(m.shedLat.samples())
 	v.SolveLatency = summarize(m.solveLat.samples())
 	return v
 }

@@ -1,0 +1,48 @@
+package service
+
+import "testing"
+
+// TestMetricsShedLatencySeparation is the regression test for the
+// latency-window pollution bug: rejected and timed-out requests —
+// typically sub-millisecond 503s — used to be recorded into the same
+// window as served requests, so an overload burst made the reported
+// service latency look better exactly when the daemon was shedding.
+// Served and shed outcomes must land in separate windows.
+func TestMetricsShedLatencySeparation(t *testing.T) {
+	m := NewMetrics()
+	served := []Outcome{OutcomeSolved, OutcomeCached, OutcomeDeduped, OutcomePeer}
+	for _, o := range served {
+		m.RequestStarted()
+		m.RequestFinished(1.0, o) // slow but served: 1000 ms
+	}
+	shed := []Outcome{OutcomeRejected, OutcomeTimeout, OutcomeError}
+	for _, o := range shed {
+		m.RequestStarted()
+		m.RequestFinished(0.0001, o) // fast shed: 0.1 ms
+	}
+
+	v := m.Snapshot(0, 0)
+	if v.RequestLatency.Count != len(served) {
+		t.Errorf("request_latency count = %d, want %d served samples", v.RequestLatency.Count, len(served))
+	}
+	if v.ShedLatency.Count != len(shed) {
+		t.Errorf("shed_latency count = %d, want %d shed samples", v.ShedLatency.Count, len(shed))
+	}
+	// The served window must not be dragged down by the microsecond sheds:
+	// every sample in it is 1000 ms.
+	if v.RequestLatency.P50 != 1000 {
+		t.Errorf("request_latency p50 = %g ms, want 1000 (shed samples polluted the window)", v.RequestLatency.P50)
+	}
+	if v.ShedLatency.Max >= 1 {
+		t.Errorf("shed_latency max = %g ms, want < 1 (served samples leaked into the shed window)", v.ShedLatency.Max)
+	}
+	if v.Rejected != 1 || v.Timeouts != 1 || v.Errors != 1 {
+		t.Errorf("rejected/timeouts/errors = %d/%d/%d, want 1/1/1", v.Rejected, v.Timeouts, v.Errors)
+	}
+	if v.PeerHits != 1 {
+		t.Errorf("peer_hits = %d, want 1", v.PeerHits)
+	}
+	if v.MaxInflight != 1 {
+		t.Errorf("max_inflight = %d, want 1", v.MaxInflight)
+	}
+}

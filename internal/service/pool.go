@@ -11,23 +11,38 @@ import (
 // (load shedding) rather than letting latency grow without bound — and a
 // caller whose context expires before its job starts gets the context
 // error without occupying a worker.
+//
+// The queue is a mutex-guarded slice rather than a channel so that a
+// job whose context has already expired can be compacted out at
+// admission time. With a channel queue, a burst of requests that time
+// out while queued would keep their slots pinned until a worker drained
+// them, shedding live traffic with spurious ErrQueueFull even though
+// every queued job was already dead.
 type Pool struct {
-	queue chan *job
-	wg    sync.WaitGroup
+	mu      sync.Mutex
+	pending []*job // FIFO; guarded by mu
+	closed  bool
 
-	mu     sync.Mutex
-	closed bool
+	// tokens is the workers' wakeup semaphore: one token per enqueued
+	// job, consumed by a worker before it pops. Sends are non-blocking —
+	// compaction can leave more tokens than jobs, and a worker waking to
+	// an empty queue just sleeps again — but never fewer: tokens are
+	// dropped only when the channel is full, i.e. holds depth tokens,
+	// which is at least len(pending).
+	tokens chan struct{}
+	wg     sync.WaitGroup
 }
 
 type job struct {
 	ctx  context.Context
 	run  func()
-	err  error // set before done closes when the worker skipped run
+	err  error // set before done closes when the pool skipped run
 	done chan struct{}
 }
 
 // ErrQueueFull is returned by Submit when the pool's queue is at
-// capacity; callers translate it to 503 Service Unavailable.
+// capacity with no dead jobs to reclaim; callers translate it to 503
+// Service Unavailable.
 var ErrQueueFull = fmt.Errorf("service: solve queue full")
 
 // ErrPoolClosed is returned by Submit after Close; the daemon is
@@ -43,7 +58,10 @@ func NewPool(workers, queueDepth int) *Pool {
 	if queueDepth < 1 {
 		queueDepth = 1
 	}
-	p := &Pool{queue: make(chan *job, queueDepth)}
+	p := &Pool{
+		pending: make([]*job, 0, queueDepth),
+		tokens:  make(chan struct{}, queueDepth),
+	}
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go p.worker()
@@ -53,40 +71,91 @@ func NewPool(workers, queueDepth int) *Pool {
 
 func (p *Pool) worker() {
 	defer p.wg.Done()
-	for j := range p.queue {
-		// A job whose deadline already passed is not worth starting;
-		// its submitter stopped waiting at ctx.Done. The error is
-		// recorded on the job because Submit's select may observe done
-		// and ctx.Done simultaneously ready — done alone must not read
-		// as "executed".
+	for range p.tokens {
+		p.runNext()
+	}
+	// Close closed the token channel; drain whatever jobs remain so the
+	// shutdown barrier sees every admitted job completed.
+	for p.runNext() {
+	}
+}
+
+// runNext pops and executes the oldest pending job. It reports whether
+// a job was present; a compacted-ahead token finds the queue empty and
+// returns false. A job whose deadline already passed is not worth
+// starting — its submitter stopped waiting at ctx.Done. The error is
+// recorded on the job because Submit's select may observe done and
+// ctx.Done simultaneously ready; done alone must not read as
+// "executed".
+func (p *Pool) runNext() bool {
+	p.mu.Lock()
+	if len(p.pending) == 0 {
+		p.mu.Unlock()
+		return false
+	}
+	j := p.pending[0]
+	copy(p.pending, p.pending[1:])
+	p.pending[len(p.pending)-1] = nil
+	p.pending = p.pending[:len(p.pending)-1]
+	p.mu.Unlock()
+	if err := j.ctx.Err(); err != nil {
+		j.err = err
+	} else {
+		j.run()
+	}
+	close(j.done)
+	return true
+}
+
+// compactLocked removes every pending job whose context has expired,
+// completing each with its context error. Called with p.mu held, at
+// admission time when the queue looks full — dead jobs must not crowd
+// out live traffic.
+func (p *Pool) compactLocked() {
+	live := p.pending[:0]
+	for _, j := range p.pending {
 		if err := j.ctx.Err(); err != nil {
 			j.err = err
-		} else {
-			j.run()
+			close(j.done)
+			continue
 		}
-		close(j.done)
+		live = append(live, j)
 	}
+	for i := len(live); i < len(p.pending); i++ {
+		p.pending[i] = nil
+	}
+	p.pending = live
 }
 
 // Submit enqueues run and waits until it has been executed or ctx
 // expires. When ctx expires first, Submit returns the context error; if
-// the job has not started yet it is skipped entirely when a worker
-// reaches it (the closure never runs). A nil return guarantees run was
-// executed. The job function must capture its own result delivery.
+// the job has not started yet it is skipped entirely when a worker (or
+// admission-time compaction) reaches it — the closure never runs. A nil
+// return guarantees run was executed. The job function must capture its
+// own result delivery.
 func (p *Pool) Submit(ctx context.Context, run func()) error {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
 		return ErrPoolClosed
 	}
-	j := &job{ctx: ctx, run: run, done: make(chan struct{})}
-	select {
-	case p.queue <- j:
-		p.mu.Unlock()
-	default:
+	if len(p.pending) == cap(p.tokens) {
+		p.compactLocked()
+	}
+	if len(p.pending) == cap(p.tokens) {
 		p.mu.Unlock()
 		return ErrQueueFull
 	}
+	j := &job{ctx: ctx, run: run, done: make(chan struct{})}
+	p.pending = append(p.pending, j)
+	select {
+	case p.tokens <- struct{}{}:
+	default:
+		// Channel full means depth tokens are already outstanding — at
+		// least one per pending job — so a worker is guaranteed to reach
+		// this job without another token.
+	}
+	p.mu.Unlock()
 	select {
 	case <-j.done:
 		return j.err
@@ -96,7 +165,11 @@ func (p *Pool) Submit(ctx context.Context, run func()) error {
 }
 
 // QueueDepth reports the number of jobs waiting for a worker.
-func (p *Pool) QueueDepth() int { return len(p.queue) }
+func (p *Pool) QueueDepth() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.pending)
+}
 
 // Close stops admission and waits for the workers to finish every job
 // already queued — the drain barrier geomapd leans on after the HTTP
@@ -108,7 +181,7 @@ func (p *Pool) Close() {
 		return
 	}
 	p.closed = true
-	close(p.queue)
+	close(p.tokens)
 	p.mu.Unlock()
 	p.wg.Wait()
 }

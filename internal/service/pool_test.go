@@ -148,6 +148,77 @@ func TestPoolSkippedJobNeverReturnsNil(t *testing.T) {
 	}
 }
 
+// TestPoolCompactsExpiredJobsUnderPressure is the regression test for
+// the queue-slot leak: jobs whose contexts expired while queued used to
+// pin their slots until a worker drained them, so a burst of timed-out
+// requests shed live traffic with spurious ErrQueueFull. Admission-time
+// compaction must reclaim dead slots instead.
+func TestPoolCompactsExpiredJobsUnderPressure(t *testing.T) {
+	const depth = 4
+	p := NewPool(1, depth)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		_ = p.Submit(context.Background(), func() { close(started); <-block })
+	}()
+	<-started
+
+	// Fill every queue slot with jobs that are then cancelled: each
+	// submitter returns with its context error, but its job still sits in
+	// the queue because the only worker is parked.
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	var deadRan atomic.Int64
+	for i := 0; i < depth; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := p.Submit(ctx, func() { deadRan.Add(1) })
+			if !errors.Is(err, context.Canceled) {
+				t.Errorf("cancelled submitter got %v, want context.Canceled", err)
+			}
+		}()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for p.QueueDepth() < depth {
+		if time.Now().After(deadline) {
+			t.Fatal("fillers never occupied the queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	wg.Wait()
+
+	// The queue is nominally full, but every occupant is dead. A live
+	// request must still be admitted — this returned ErrQueueFull before
+	// the fix.
+	var liveRan atomic.Bool
+	liveErr := make(chan error, 1)
+	go func() {
+		liveErr <- p.Submit(context.Background(), func() { liveRan.Store(true) })
+	}()
+	// The live submitter blocks waiting for the parked worker; give its
+	// admission a moment, then verify compaction left only the live job.
+	deadline = time.Now().Add(2 * time.Second)
+	for p.QueueDepth() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue depth %d after compacting admission, want 1", p.QueueDepth())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(block)
+	if err := <-liveErr; err != nil {
+		t.Fatalf("live submit err = %v, want admission (nil)", err)
+	}
+	if !liveRan.Load() {
+		t.Error("live job admitted but never executed")
+	}
+	p.Close()
+	if n := deadRan.Load(); n != 0 {
+		t.Errorf("%d compacted jobs executed, want 0", n)
+	}
+}
+
 // TestPoolStress floods a small pool from many goroutines with mixed
 // deadlines; meaningful under -race.
 func TestPoolStress(t *testing.T) {

@@ -81,9 +81,11 @@ type MapResponse struct {
 	MapResult
 	// Cached reports that the result came from the LRU without any
 	// solve; Deduped that this request shared a concurrent identical
-	// solve rather than running its own.
+	// solve rather than running its own; Peer that the receiving daemon
+	// filled its cache from the shard owner instead of solving.
 	Cached  bool `json:"cached"`
 	Deduped bool `json:"deduped,omitempty"`
+	Peer    bool `json:"peer,omitempty"`
 }
 
 // errorResponse is the JSON error body every non-2xx answer carries.

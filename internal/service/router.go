@@ -1,0 +1,116 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Ring is a consistent-hash ring over a fleet of geomapd base URLs:
+// every daemon owns the arc of fingerprint space between its virtual
+// points and their predecessors. The ring is a pure function of the
+// (deduplicated, order-normalized) peer list, so every daemon and every
+// client that knows the same fleet computes the same owner for every
+// key — the property the cluster's byte-identical placement digests
+// rest on. A Ring is immutable after construction and safe for
+// concurrent use.
+type Ring struct {
+	peers  []string // normalized, sorted, unique
+	points []ringPoint
+}
+
+// ringPoint is one virtual node: a hash position owned by peers[peer].
+type ringPoint struct {
+	hash uint64
+	peer int
+}
+
+// ringReplicas is how many virtual points each peer contributes. 64
+// points per peer keeps the expected ownership imbalance of a small
+// fleet within a few percent while construction stays trivial.
+const ringReplicas = 64
+
+// NormalizePeerURL canonicalizes one fleet member's base URL: trimmed,
+// with any trailing slash removed, and defaulting the scheme to http://
+// so "-peers host:port,…" and "-peers http://host:port,…" name the same
+// ring.
+func NormalizePeerURL(raw string) string {
+	u := strings.TrimSpace(raw)
+	u = strings.TrimRight(u, "/")
+	if u == "" {
+		return ""
+	}
+	if !strings.Contains(u, "://") {
+		u = "http://" + u
+	}
+	return u
+}
+
+// NewRing builds the ring for a fleet. Peer URLs are normalized with
+// NormalizePeerURL; the input order does not matter and duplicates are
+// rejected (a duplicated URL would silently double a daemon's share).
+func NewRing(peers []string) (*Ring, error) {
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("service: ring needs at least one peer")
+	}
+	norm := make([]string, 0, len(peers))
+	for _, p := range peers {
+		u := NormalizePeerURL(p)
+		if u == "" {
+			return nil, fmt.Errorf("service: empty peer URL in %q", strings.Join(peers, ","))
+		}
+		norm = append(norm, u)
+	}
+	sort.Strings(norm)
+	for i := 1; i < len(norm); i++ {
+		if norm[i] == norm[i-1] {
+			return nil, fmt.Errorf("service: duplicate peer URL %q", norm[i])
+		}
+	}
+	r := &Ring{peers: norm, points: make([]ringPoint, 0, len(norm)*ringReplicas)}
+	for i, p := range norm {
+		for v := 0; v < ringReplicas; v++ {
+			r.points = append(r.points, ringPoint{hash: ringHash(p + "#" + strconv.Itoa(v)), peer: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// A 64-bit collision between virtual points is effectively
+		// impossible, but the tie-break keeps the sort total so the ring
+		// stays a pure function of the peer set.
+		return r.points[a].peer < r.points[b].peer
+	})
+	return r, nil
+}
+
+// Owner returns the peer URL owning key: the first virtual point at or
+// clockwise after the key's hash position.
+func (r *Ring) Owner(key string) string {
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.peers[r.points[i].peer]
+}
+
+// Peers returns the normalized, sorted fleet membership.
+func (r *Ring) Peers() []string { return append([]string(nil), r.peers...) }
+
+// Size returns the number of fleet members.
+func (r *Ring) Size() int { return len(r.peers) }
+
+// ringHash positions a string on the ring: the first 8 bytes of its
+// SHA-256. Reusing the fingerprint hash family keeps routing free of any
+// seed or process identity.
+//
+//geolint:deterministic
+func ringHash(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}

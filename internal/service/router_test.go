@@ -1,0 +1,141 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testPeers(n int) []string {
+	peers := make([]string, n)
+	for i := range peers {
+		peers[i] = fmt.Sprintf("http://127.0.0.1:%d", 9001+i)
+	}
+	return peers
+}
+
+func TestRingOwnerIsPeerOrderIndependent(t *testing.T) {
+	peers := testPeers(3)
+	orders := [][]string{
+		{peers[0], peers[1], peers[2]},
+		{peers[2], peers[0], peers[1]},
+		{peers[1], peers[2], peers[0]},
+	}
+	rings := make([]*Ring, len(orders))
+	for i, o := range orders {
+		r, err := NewRing(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rings[i] = r
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("request-%d", i)
+		want := rings[0].Owner(key)
+		for j := 1; j < len(rings); j++ {
+			if got := rings[j].Owner(key); got != want {
+				t.Fatalf("key %q: ring built from order %d owns %s, order 0 owns %s", key, j, got, want)
+			}
+		}
+	}
+}
+
+func TestRingCoversAllPeers(t *testing.T) {
+	ring, err := NewRing(testPeers(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const keys = 1000
+	for i := 0; i < keys; i++ {
+		counts[ring.Owner(fmt.Sprintf("key-%d", i))]++
+	}
+	for _, p := range ring.Peers() {
+		if counts[p] == 0 {
+			t.Errorf("peer %s owns no keys out of %d", p, keys)
+		}
+		// With 64 virtual points per peer the split should be far from
+		// pathological; a very loose bound guards against a broken hash.
+		if counts[p] < keys/10 {
+			t.Errorf("peer %s owns only %d/%d keys", p, counts[p], keys)
+		}
+	}
+}
+
+// TestRingConsistentHashingStability is the property that justifies the
+// ring: growing the fleet by one peer must remap only the keys the new
+// peer takes over — roughly 1/(n+1) of them — never reshuffle the rest.
+func TestRingConsistentHashingStability(t *testing.T) {
+	small, err := NewRing(testPeers(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := NewRing(testPeers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	added := testPeers(4)[3]
+	const keys = 1000
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		before, after := small.Owner(key), big.Owner(key)
+		if before == after {
+			continue
+		}
+		if after != added {
+			t.Fatalf("key %q moved %s → %s, but only the added peer %s may take keys", key, before, after, added)
+		}
+		moved++
+	}
+	if moved == 0 || moved > keys/2 {
+		t.Errorf("%d/%d keys moved to the new peer, want a modest nonzero share", moved, keys)
+	}
+}
+
+func TestNormalizePeerURL(t *testing.T) {
+	cases := map[string]string{
+		"http://a:8080":   "http://a:8080",
+		"http://a:8080/":  "http://a:8080",
+		" http://a:8080 ": "http://a:8080",
+		"a:8080":          "http://a:8080",
+		"https://b":       "https://b",
+		"127.0.0.1:9001/": "http://127.0.0.1:9001",
+	}
+	for in, want := range cases {
+		if got := NormalizePeerURL(in); got != want {
+			t.Errorf("NormalizePeerURL(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestNewRingRejectsBadPeerLists(t *testing.T) {
+	if _, err := NewRing(nil); err == nil {
+		t.Error("empty peer list accepted")
+	}
+	if _, err := NewRing([]string{"http://a:1", ""}); err == nil {
+		t.Error("blank peer accepted")
+	}
+	if _, err := NewRing([]string{"http://a:1", "http://a:1/"}); err == nil {
+		t.Error("duplicate peer (modulo normalization) accepted")
+	}
+}
+
+func TestRoutingKeyIgnoresSnapshotVersion(t *testing.T) {
+	req := MapRequest{Workload: "LU", Procs: 16, Seed: 7}
+	if RoutingKey(&req) != RoutingKey(&req) {
+		t.Fatal("routing key not deterministic")
+	}
+	// The routing key must differ from any real cache key (which embeds a
+	// store-assigned version starting at 1) so shard ownership never
+	// churns on snapshot publications.
+	for v := uint64(1); v <= 3; v++ {
+		if RoutingKey(&req) == fingerprint(&req, v) {
+			t.Fatalf("routing key collides with the cache key at snapshot v%d", v)
+		}
+	}
+	other := req
+	other.Seed = 8
+	if RoutingKey(&req) == RoutingKey(&other) {
+		t.Error("distinct requests share a routing key")
+	}
+}

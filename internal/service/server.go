@@ -48,6 +48,10 @@ type Config struct {
 	// Now supplies the staleness clock (default time.Now). Tests inject a
 	// monotonic fake so staleness transitions are exact, not sleep-timed.
 	Now func() time.Time
+	// Cluster enables the multi-node mode: requests this daemon does not
+	// own consult the shard owner before solving locally, and snapshot
+	// publications fan out to the fleet. Nil serves single-node.
+	Cluster *Cluster
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -67,6 +71,7 @@ type Server struct {
 	cache   *resultCache
 	pool    *Pool
 	metrics *Metrics
+	cluster *Cluster // nil in single-node mode
 
 	maxProcs        int
 	defaultDeadline time.Duration
@@ -139,11 +144,12 @@ func NewServer(cfg Config) (*Server, error) {
 			cfg.SolverWorkers, solverWorkers, cfg.Workers, cfg.SolverWorkers, runtime.GOMAXPROCS(0))
 	}
 	started := cfg.Now()
-	return &Server{
+	s := &Server{
 		store:           cfg.Store,
 		cache:           newResultCache(cfg.CacheSize),
 		pool:            NewPool(cfg.Workers, cfg.QueueDepth),
 		metrics:         NewMetrics(),
+		cluster:         cfg.Cluster,
 		maxProcs:        cfg.MaxProcs,
 		defaultDeadline: cfg.DefaultDeadline,
 		maxStaleness:    cfg.MaxStaleness,
@@ -156,7 +162,11 @@ func NewServer(cfg Config) (*Server, error) {
 		obsAt:           started,
 		graphs:          map[string]*comm.Graph{},
 		statusProbes:    map[string]StatusFunc{},
-	}, nil
+	}
+	if s.cluster != nil {
+		s.statusProbes["cluster"] = s.cluster.StatusProbe
+	}
+	return s, nil
 }
 
 // clampSolverWorkers resolves the per-solve parallelism: requested = 0
@@ -300,6 +310,14 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), deadline)
 	defer cancel()
 
+	// A forwarded request is a peer's shard-miss consult: this daemon is
+	// the owner and must answer locally regardless of what its own ring
+	// says, so a disagreeing fleet config bounces at most one hop.
+	forwarded := r.Header.Get(ForwardedHeader) != ""
+	if forwarded {
+		s.metrics.RecordForwarded()
+	}
+
 	key := fingerprint(&req, snap.Version)
 	if res, ok := s.cache.get(key); ok {
 		outcome = OutcomeCached
@@ -307,17 +325,26 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// fromPeer is written only inside the singleflight leader's closure,
+	// which runs in this goroutine or not at all (waiters share the
+	// leader's result without executing it).
+	fromPeer := false
 	res, shared, err := s.cache.do(ctx, key, &req, func() (*MapResult, error) {
-		return s.solve(ctx, &req, snap)
+		r, peer, err := s.resolve(ctx, &req, snap, forwarded)
+		fromPeer = peer
+		return r, err
 	})
 	switch {
 	case err == nil:
-		if shared {
+		switch {
+		case shared:
 			outcome = OutcomeDeduped
-		} else {
+		case fromPeer:
+			outcome = OutcomePeer
+		default:
 			outcome = OutcomeSolved
 		}
-		writeJSON(w, http.StatusOK, MapResponse{MapResult: *res, Deduped: shared})
+		writeJSON(w, http.StatusOK, MapResponse{MapResult: *res, Deduped: shared, Peer: fromPeer})
 	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
 		outcome = OutcomeTimeout
 		writeError(w, http.StatusGatewayTimeout, fmt.Errorf("deadline of %v exceeded", deadline))
@@ -329,6 +356,42 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 		outcome = OutcomeError
 		writeError(w, http.StatusUnprocessableEntity, err)
 	}
+}
+
+// resolve obtains the result for a cache miss. In single-node mode (and
+// for forwarded requests, where this daemon is the shard owner by
+// definition) it solves locally. In cluster mode a request owned by a
+// peer consults that peer first — the owner serves its cache or solves
+// under its own singleflight, so concurrent misses across the fleet
+// still collapse onto one solve — and only falls back to a local solve
+// when the peer is unreachable or answers against a different snapshot
+// version than the one this request pinned. peer reports whether the
+// returned result came from the owning peer.
+func (s *Server) resolve(ctx context.Context, req *MapRequest, snap *Snapshot, forwarded bool) (res *MapResult, peer bool, err error) {
+	if s.cluster != nil && !forwarded {
+		rk := RoutingKey(req)
+		owner := s.cluster.Owner(rk)
+		if !s.cluster.IsSelf(owner) {
+			pres, perr := s.cluster.FetchResult(ctx, owner, req)
+			if perr == nil && pres.SnapshotVersion == snap.Version {
+				return pres, true, nil
+			}
+			if ctx.Err() != nil {
+				// The consult died with the request's own deadline; a
+				// local solve would be admitted dead.
+				return nil, false, ctx.Err()
+			}
+			s.metrics.RecordPeerError()
+			if perr != nil {
+				s.logf("cluster: owner %s unavailable for %.12s, solving locally: %v", owner, rk, perr)
+			} else {
+				s.logf("cluster: owner %s answered snapshot v%d, local is v%d; solving locally",
+					owner, pres.SnapshotVersion, snap.Version)
+			}
+		}
+	}
+	res, err = s.solve(ctx, req, snap)
+	return res, false, err
 }
 
 // solve runs one mapping end to end on the worker pool: profile (or
@@ -445,11 +508,28 @@ func (s *Server) handleSnapshotGet(w http.ResponseWriter, r *http.Request) {
 // degraded model from the last measured snapshot (WANify-style runtime
 // re-gauging feeding placement). Each report replaces the previous
 // fault overlay rather than stacking on it.
+//
+// A non-zero Version marks a cluster replication message: the sender
+// already published this snapshot at that version and is fanning the
+// concrete matrices out, so Version requires LT+BT (never a fault
+// report — the receiver must not re-derive against its own base) and is
+// applied idempotently via Store.PublishAt. Replication messages are
+// never fanned out again.
 type SnapshotUpdate struct {
 	Source      string         `json:"source,omitempty"`
 	LT          [][]float64    `json:"lt,omitempty"`
 	BT          [][]float64    `json:"bt,omitempty"`
 	FaultReport *faults.Report `json:"fault_report,omitempty"`
+	// Degraded carries the published snapshot's unreliable-pair list on
+	// the replication path.
+	Degraded [][2]int `json:"degraded,omitempty"`
+	// Derived marks a replicated snapshot as fault-derived so the
+	// receiver's base-snapshot tracking stays consistent with the
+	// origin's.
+	Derived bool `json:"derived,omitempty"`
+	// Version is the origin-assigned snapshot version (0 = an ordinary
+	// origin update, which assigns the next local version).
+	Version uint64 `json:"version,omitempty"`
 }
 
 func (s *Server) handleSnapshotPost(w http.ResponseWriter, r *http.Request) {
@@ -465,6 +545,9 @@ func (s *Server) handleSnapshotPost(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case upd.FaultReport != nil && (upd.LT != nil || upd.BT != nil):
 		writeError(w, http.StatusBadRequest, fmt.Errorf("matrices and fault_report are mutually exclusive"))
+		return
+	case upd.Version > 0:
+		s.handleSnapshotReplication(w, cur, &upd)
 		return
 	case upd.FaultReport != nil:
 		// Derive from the last measured snapshot, not cur: cur may
@@ -503,7 +586,62 @@ func (s *Server) handleSnapshotPost(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.RecordSnapshot()
 	s.logf("snapshot v%d published (%s)", version, next.Source)
+	if s.cluster != nil {
+		// This daemon is the origin: fan the published snapshot out at
+		// its assigned version. Failed legs are logged and recorded in
+		// peer health; the peer catches up on the next publication.
+		s.cluster.Replicate(next)
+	}
 	writeJSON(w, http.StatusOK, viewOf(next))
+}
+
+// handleSnapshotReplication applies a version-carrying SnapshotUpdate —
+// a peer's fan-out of a snapshot it already published. The receiver
+// keeps its own topology (coordinates, capacities, names are boot-time
+// fleet-wide constants) and adopts the replicated matrices at exactly
+// the origin's version; stale or duplicate versions are acknowledged
+// without effect, which is what makes replays idempotent.
+func (s *Server) handleSnapshotReplication(w http.ResponseWriter, cur *Snapshot, upd *SnapshotUpdate) {
+	if upd.FaultReport != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("replication carries matrices, never a fault report"))
+		return
+	}
+	if upd.LT == nil || upd.BT == nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("replicated snapshot v%d needs lt+bt matrices", upd.Version))
+		return
+	}
+	lt, err := mat.From(upd.LT)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("lt: %w", err))
+		return
+	}
+	bt, err := mat.From(upd.BT)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bt: %w", err))
+		return
+	}
+	clone := *cur
+	clone.Version = 0
+	clone.LT, clone.BT = lt, bt
+	clone.Degraded = upd.Degraded
+	clone.derived = upd.Derived
+	clone.Source = "replicated"
+	if upd.Source != "" {
+		clone.Source = upd.Source
+	}
+	applied, err := s.store.PublishAt(&clone, upd.Version)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if applied {
+		s.metrics.RecordSnapshot()
+		s.logf("snapshot v%d replicated in (%s)", upd.Version, clone.Source)
+		writeJSON(w, http.StatusOK, viewOf(&clone))
+		return
+	}
+	// Stale replay: acknowledge with the snapshot the store kept.
+	writeJSON(w, http.StatusOK, viewOf(s.store.Current()))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -221,6 +221,55 @@ func TestMapDeadlineExceeded(t *testing.T) {
 	}
 }
 
+// TestMapTimedOutWaiterCountsAsTimeout is the regression test for the
+// singleflight outcome misclassification: a waiter whose deadline fired
+// while the leader was still solving used to come back shared=true, so
+// the 504 was tallied under deduped instead of timeouts.
+func TestMapTimedOutWaiterCountsAsTimeout(t *testing.T) {
+	srv := newTestServer(t, Config{Workers: 1})
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	var once sync.Once
+	srv.solveHook = func() {
+		entered <- struct{}{}
+		<-release
+	}
+	defer once.Do(func() { close(release) })
+	h := srv.Handler()
+
+	req := MapRequest{Workload: "LU", Procs: 16, Seed: 1}
+	leader := make(chan int, 1)
+	go func() {
+		body, _ := json.Marshal(req)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/map", bytes.NewReader(body)))
+		leader <- rec.Code
+	}()
+	<-entered // the leader is parked inside its solve
+
+	// An identical request joins the leader's flight and times out first.
+	waiter := req
+	waiter.DeadlineMillis = 30
+	var e errorResponse
+	postMap(t, h, waiter, http.StatusGatewayTimeout, &e)
+
+	view := srv.metrics.Snapshot(0, 0)
+	if view.Timeouts != 1 {
+		t.Errorf("timeouts = %d, want 1", view.Timeouts)
+	}
+	if view.Deduped != 0 {
+		t.Errorf("deduped = %d, want 0 (timed-out waiter misclassified as dedup)", view.Deduped)
+	}
+
+	once.Do(func() { close(release) })
+	if code := <-leader; code != http.StatusOK {
+		t.Fatalf("leader status = %d, want 200", code)
+	}
+	if view := srv.metrics.Snapshot(0, 0); view.Solves != 1 {
+		t.Errorf("solves = %d, want 1", view.Solves)
+	}
+}
+
 func TestMapQueueFullSheds(t *testing.T) {
 	srv := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
 	entered := make(chan struct{}, 8)

@@ -263,3 +263,39 @@ func (st *Store) Publish(snap *Snapshot) (uint64, error) {
 	}
 	return snap.Version, nil
 }
+
+// PublishAt installs snap at exactly the given version — the
+// replication path. The origin daemon assigns a version with Publish
+// and fans the snapshot out; receivers apply it here. Ordering makes
+// replays idempotent: a version at or below the store's current one is
+// ignored (applied=false, no error), so duplicated or reordered
+// replication messages cannot regress the model, and a newer version is
+// adopted verbatim even across gaps (a peer that missed v2 jumps
+// straight to v3 — it catches up on the next publication that reaches
+// it).
+func (st *Store) PublishAt(snap *Snapshot, version uint64) (applied bool, err error) {
+	if snap == nil {
+		return false, fmt.Errorf("service: nil snapshot")
+	}
+	if version == 0 {
+		return false, fmt.Errorf("service: replicated snapshot needs a version")
+	}
+	if err := snap.validate(); err != nil {
+		return false, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if cur := st.cur.Load(); cur != nil && cur.M() != snap.M() {
+		return false, fmt.Errorf("service: snapshot has %d sites, store is serving %d", snap.M(), cur.M())
+	}
+	if version <= st.version {
+		return false, nil
+	}
+	st.version = version
+	snap.Version = version
+	st.cur.Store(snap)
+	if !snap.derived {
+		st.base.Store(snap)
+	}
+	return true, nil
+}

@@ -250,3 +250,61 @@ func TestStoreBaseSkipsDerivedSnapshots(t *testing.T) {
 		t.Error("measured snapshot did not become the base")
 	}
 }
+
+// TestStorePublishAtOrdering covers the replication path: versions are
+// adopted exactly as assigned by the origin, stale replays are ignored
+// without error, gaps are jumped, and local publications continue from
+// whatever version the store last saw.
+func TestStorePublishAtOrdering(t *testing.T) {
+	st, err := NewStore(testSnapshot(t, 16, 1)) // v1
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	newer := testSnapshot(t, 16, 2)
+	applied, err := st.PublishAt(newer, 2)
+	if err != nil || !applied {
+		t.Fatalf("PublishAt(v2) = (%v, %v), want applied", applied, err)
+	}
+	if st.Current().Version != 2 || st.Current() != newer {
+		t.Fatalf("current is v%d, want the replicated v2", st.Current().Version)
+	}
+
+	// A duplicate or reordered replay must be a no-op, not an error.
+	stale := testSnapshot(t, 16, 3)
+	for _, v := range []uint64{1, 2} {
+		applied, err := st.PublishAt(stale, v)
+		if err != nil || applied {
+			t.Fatalf("PublishAt(stale v%d) = (%v, %v), want silent no-op", v, applied, err)
+		}
+	}
+	if st.Current() != newer {
+		t.Fatal("stale replay replaced the current snapshot")
+	}
+
+	// A receiver that missed v3 and v4 jumps straight to v5.
+	jump := testSnapshot(t, 16, 4)
+	if applied, err := st.PublishAt(jump, 5); err != nil || !applied {
+		t.Fatalf("PublishAt(v5 across a gap) = (%v, %v), want applied", applied, err)
+	}
+	// Local publication continues after the adopted version.
+	v, err := st.Publish(testSnapshot(t, 16, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 6 {
+		t.Errorf("Publish after adopting v5 assigned v%d, want v6", v)
+	}
+
+	// Version 0 and topology mismatches are rejected.
+	if _, err := st.PublishAt(testSnapshot(t, 16, 6), 0); err == nil {
+		t.Error("PublishAt accepted version 0")
+	}
+	smallCloud, err := netmodel.EvenCloud(netmodel.AmazonEC2, "m4.xlarge", netmodel.PaperEC2Regions[:2], 4, netmodel.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.PublishAt(SnapshotFromCloud(smallCloud), 99); err == nil {
+		t.Error("PublishAt accepted a snapshot with a different site count")
+	}
+}
